@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite."""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_table(table, filename: str) -> None:
+    """Persist an experiment table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.to_text()
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_series_once(benchmark, fn):
+    """Run a full experiment series exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Ablation A2: the cache-table threshold V (Lemma 2's space/time trade-off).
+
+Small V splits the rank into more, smaller cache tables: less memory and
+cheaper table construction, but each lookup must OR together one entry per
+group.  The factorization result is identical for every V — only cost moves.
+"""
+
+import pytest
+
+from repro.core import dbtf
+from repro.datasets import scalability_tensor
+
+EXPONENT = 6
+RANK = 20  # above the default V=15, so the split is actually exercised
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return scalability_tensor(EXPONENT, 0.05, seed=0)
+
+
+@pytest.mark.parametrize("group_size", [4, 8, 15, 20])
+def test_dbtf_by_v_threshold(benchmark, tensor, group_size):
+    result = benchmark(
+        lambda: dbtf(
+            tensor, rank=RANK, seed=0, n_partitions=16,
+            cache_group_size=group_size, max_iterations=2,
+        )
+    )
+    assert result.error <= tensor.nnz
+
+
+def test_v_does_not_change_result(tensor):
+    errors = set()
+    for group_size in (4, 15, 20):
+        result = dbtf(
+            tensor, rank=RANK, seed=0, n_partitions=16,
+            cache_group_size=group_size, max_iterations=2,
+        )
+        errors.add(result.error)
+    assert len(errors) == 1

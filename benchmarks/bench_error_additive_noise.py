@@ -1,0 +1,48 @@
+"""Sec. IV-D reconstruction error vs. additive-noise level.
+
+Additive noise flips zero cells to one (extra 1s, as a fraction of the
+noise-free nonzero count).  A Boolean CP model of the planted rank cannot
+explain those extra 1s, so every method's error should rise with the level,
+and a good method's error should track the amount of injected noise.
+"""
+
+import pytest
+
+from repro.core import dbtf
+from repro.datasets import ErrorTensorSpec, error_tensor
+from repro.experiments import run_additive_noise_sweep
+
+from _utils import run_series_once, save_table
+
+BASE = ErrorTensorSpec(
+    shape=(32, 32, 32), rank=5, factor_density=0.2,
+    additive_noise=0.0, destructive_noise=0.0,
+)
+
+
+@pytest.mark.parametrize("level", [0.0, 0.1, 0.3])
+def test_dbtf_by_additive_noise(benchmark, level):
+    spec = ErrorTensorSpec(
+        shape=BASE.shape, rank=BASE.rank, factor_density=BASE.factor_density,
+        additive_noise=level, destructive_noise=0.0,
+    )
+    tensor, _ = error_tensor(spec)
+    result = benchmark(
+        lambda: dbtf(tensor, rank=spec.rank, seed=0, n_partitions=16,
+                     n_initial_sets=4)
+    )
+    assert result.relative_error <= 1.0
+
+
+def test_error_vs_additive_noise_series(benchmark):
+    table = run_series_once(
+        benchmark,
+        lambda: run_additive_noise_sweep(
+            levels=(0.0, 0.1, 0.3), base=BASE, timeout_sec=60.0
+        ),
+    )
+    save_table(table, "bench_error_additive_noise.txt")
+    dbtf_errors = [float(cell) for cell in table.column("DBTF")]
+    # Noise-free decomposition should be near exact; errors grow with noise.
+    assert dbtf_errors[0] < 0.2
+    assert dbtf_errors[-1] >= dbtf_errors[0]

@@ -1,0 +1,38 @@
+"""Sec. IV-D reconstruction error vs. planted rank.
+
+Each point plants a tensor of the given Boolean rank and factorizes it at
+that same rank; relative errors are compared across methods.
+"""
+
+import pytest
+
+from repro.core import dbtf
+from repro.datasets import ErrorTensorSpec, error_tensor
+from repro.experiments import run_rank_sweep
+
+from _utils import run_series_once, save_table
+
+BASE = ErrorTensorSpec(shape=(32, 32, 32), rank=5, factor_density=0.2)
+
+
+@pytest.mark.parametrize("rank", [3, 5, 8])
+def test_dbtf_by_planted_rank(benchmark, rank):
+    spec = ErrorTensorSpec(
+        shape=BASE.shape, rank=rank, factor_density=BASE.factor_density,
+        additive_noise=BASE.additive_noise, destructive_noise=BASE.destructive_noise,
+    )
+    tensor, _ = error_tensor(spec)
+    result = benchmark(
+        lambda: dbtf(tensor, rank=rank, seed=0, n_partitions=16, n_initial_sets=4)
+    )
+    assert result.relative_error <= 1.0
+
+
+def test_error_vs_rank_series(benchmark):
+    table = run_series_once(
+        benchmark,
+        lambda: run_rank_sweep(ranks=(3, 5, 8), base=BASE, timeout_sec=60.0),
+    )
+    save_table(table, "bench_error_rank.txt")
+    dbtf_errors = [float(cell) for cell in table.column("DBTF")]
+    assert all(error < 1.0 for error in dbtf_errors)

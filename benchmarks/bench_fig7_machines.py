@@ -1,0 +1,28 @@
+"""Figure 7: machine scalability of DBTF.
+
+Paper: on I = J = K = 2^12, density 0.01, rank 10, DBTF speeds up 2.2x when
+going from 4 to 16 machines (near-linear, sublinear because of the
+driver-side column-update barrier and per-iteration broadcasts).  Here the
+decomposition runs once on the simulated engine and the recorded schedule
+is replayed for each machine count.
+"""
+
+from repro.experiments import run_machine_scalability
+
+from _utils import run_series_once, save_table
+
+
+def test_figure7_series(benchmark):
+    table = run_series_once(
+        benchmark,
+        lambda: run_machine_scalability(
+            machines=(4, 8, 16), exponent=6, max_iterations=3
+        ),
+    )
+    save_table(table, "bench_figure7.txt")
+    speedups = [float(cell) for cell in table.column("speed-up T4/T_M")]
+    assert speedups[0] == 1.0
+    # More machines never slow the run down, and 16 machines give a real
+    # speed-up over 4 (the paper reports 2.2x).
+    assert speedups == sorted(speedups)
+    assert 1.5 <= speedups[-1] <= 4.0

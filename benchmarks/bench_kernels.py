@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the bit-packed kernels everything else is built on.
+
+These are the operations the paper's flop analysis counts: Boolean row
+summations (word-wise OR), reconstruction-error evaluation (XOR +
+popcount), cache-table construction (Lemma 2), and the Boolean matrix
+product.  Tracking them catches regressions in the library's foundation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix, boolean_matmul, or_accumulate_table, packing
+
+
+@pytest.fixture(scope="module")
+def packed_rows():
+    rng = np.random.default_rng(0)
+    dense = (rng.random((512, 4096)) < 0.1).astype(np.uint8)
+    return packing.pack_bits(dense)
+
+
+def test_popcount_rows(benchmark, packed_rows):
+    total = benchmark(lambda: packing.popcount_rows(packed_rows))
+    assert total.shape == (512,)
+
+
+def test_xor_popcount_error_kernel(benchmark, packed_rows):
+    other = np.roll(packed_rows, 1, axis=0)
+    result = benchmark(lambda: int(packing.popcount_rows(packed_rows ^ other).sum()))
+    assert result >= 0
+
+
+@pytest.mark.parametrize("group_size", [10, 15])
+def test_cache_table_construction(benchmark, group_size):
+    rng = np.random.default_rng(1)
+    dense = (rng.random((group_size, 512)) < 0.3).astype(np.uint8)
+    packed = packing.pack_bits(dense)
+    table = benchmark(lambda: or_accumulate_table(packed, group_size))
+    assert table.shape[0] == 2**group_size
+
+
+def test_cache_gather(benchmark):
+    rng = np.random.default_rng(2)
+    table = or_accumulate_table(
+        packing.pack_bits((rng.random((15, 512)) < 0.3).astype(np.uint8)), 15
+    )
+    keys = rng.integers(0, 2**15, size=(512, 64))
+    gathered = benchmark(lambda: table[keys])
+    assert gathered.shape == (512, 64, table.shape[1])
+
+
+def test_boolean_matmul(benchmark):
+    rng = np.random.default_rng(3)
+    left = BitMatrix.random(256, 64, 0.2, rng)
+    right = BitMatrix.random(64, 1024, 0.2, rng)
+    product = benchmark(lambda: boolean_matmul(left, right))
+    assert product.shape == (256, 1024)
+
+
+def test_slice_bits(benchmark, packed_rows):
+    sliced = benchmark(lambda: packing.slice_bits(packed_rows, 100, 3000))
+    assert sliced.shape[0] == 512

@@ -1,0 +1,36 @@
+"""Lemmas 6-7: the paper's communication analysis, validated empirically.
+
+Lemma 6 — unfolded tensors are shuffled exactly once (partitioning);
+Lemma 7 — per-iteration traffic is only broadcasts and error collections,
+O(T · R · I · (M + N)), and the collect volume grows with N.
+"""
+
+from repro.experiments import run_traffic_vs_iterations, run_traffic_vs_partitions
+
+from _utils import run_series_once, save_table
+
+
+def test_traffic_vs_iterations_series(benchmark):
+    table = run_series_once(
+        benchmark, lambda: run_traffic_vs_iterations(iterations=(1, 2, 4))
+    )
+    save_table(table, "bench_lemma_traffic_iterations.txt")
+    shuffles = {cell for cell in table.column("shuffle bytes")}
+    # Lemma 6: the one-off partitioning shuffle is independent of T.
+    assert len(shuffles) == 1
+    # Lemma 7: per-iteration broadcast volume is constant.
+    performed = [int(cell) for cell in table.column("performed T")]
+    broadcasts = [int(cell) for cell in table.column("broadcast bytes")]
+    per_iteration = [b / t for b, t in zip(broadcasts, performed)]
+    assert max(per_iteration) <= 1.2 * min(per_iteration)
+
+
+def test_traffic_vs_partitions_series(benchmark):
+    table = run_series_once(
+        benchmark, lambda: run_traffic_vs_partitions(partition_counts=(2, 8, 32))
+    )
+    save_table(table, "bench_lemma_traffic_partitions.txt")
+    collects = [int(cell) for cell in table.column("collect bytes")]
+    # Lemma 7: error-collection volume grows with N.
+    assert collects == sorted(collects)
+    assert collects[-1] > collects[0]

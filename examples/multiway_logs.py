@@ -1,0 +1,87 @@
+"""Four-way analysis of network logs with N-way Boolean CP.
+
+The paper's introduction motivates Boolean tensors with network intrusion
+logs shaped source IP x destination IP x port x timestamp — a *four-way*
+tensor.  DBTF itself is three-way, but the library's N-way extension
+(`repro.nway`) handles the general case.  This example plants four-way
+attack patterns (a set of sources, a few destinations, a port set, a time
+window), factorizes the 4-way tensor directly, and compares against the
+common three-way workaround of dropping the port mode.
+
+Run:  python examples/multiway_logs.py
+"""
+
+import numpy as np
+
+from repro import dbtf
+from repro.nway import NwayCpConfig, cp_nway
+from repro.tensor import SparseBoolTensor
+
+N_SOURCES, N_DESTINATIONS, N_PORTS, N_TIMESTEPS = 48, 24, 12, 16
+N_ATTACKS = 3
+
+
+def plant_attacks(rng):
+    """Union of 4-way blocks: sources x destinations x ports x window."""
+    coords = []
+    descriptions = []
+    for _ in range(N_ATTACKS):
+        sources = rng.choice(N_SOURCES, size=rng.integers(8, 16), replace=False)
+        destinations = rng.choice(N_DESTINATIONS, size=rng.integers(2, 4),
+                                  replace=False)
+        ports = rng.choice(N_PORTS, size=rng.integers(1, 3), replace=False)
+        start = int(rng.integers(0, N_TIMESTEPS - 4))
+        window = np.arange(start, start + 4)
+        grid = np.meshgrid(sources, destinations, ports, window, indexing="ij")
+        coords.append(np.stack([axis.ravel() for axis in grid], axis=1))
+        descriptions.append(
+            f"{sources.size} sources -> dsts {sorted(destinations.tolist())} "
+            f"ports {sorted(ports.tolist())} t={start}..{start + 3}"
+        )
+    shape = (N_SOURCES, N_DESTINATIONS, N_PORTS, N_TIMESTEPS)
+    tensor = SparseBoolTensor(shape, np.concatenate(coords))
+    return tensor, descriptions
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    attacks, descriptions = plant_attacks(rng)
+    # Background chatter.
+    n_cells = attacks.n_cells
+    noise_flat = rng.choice(n_cells, size=n_cells // 500, replace=False)
+    noise = SparseBoolTensor(
+        attacks.shape, np.stack(np.unravel_index(noise_flat, attacks.shape), axis=1)
+    )
+    logs = attacks.boolean_or(noise)
+    print(f"4-way log tensor: {logs.nnz} events, shape "
+          f"{'x'.join(str(s) for s in logs.shape)}")
+    print("planted attacks:")
+    for description in descriptions:
+        print(f"  - {description}")
+
+    result = cp_nway(logs, config=NwayCpConfig(rank=N_ATTACKS, n_initial_sets=6))
+    print(f"\n4-way Boolean CP: relative error {result.relative_error:.3f}")
+    a, b, p, t = result.factors
+    for component in range(N_ATTACKS):
+        sources = int(a.column(component).sum())
+        destinations = np.flatnonzero(b.column(component))
+        ports = np.flatnonzero(p.column(component))
+        times = np.flatnonzero(t.column(component))
+        if not destinations.size:
+            continue
+        print(f"  alert {component}: {sources} sources -> "
+              f"dsts {destinations.tolist()} ports {ports.tolist()} "
+              f"t={times.min()}..{times.max()}")
+
+    # The 3-way workaround: collapse the port mode and run DBTF.
+    collapsed_coords = np.unique(logs.coords[:, [0, 1, 3]], axis=0)
+    collapsed = SparseBoolTensor(
+        (N_SOURCES, N_DESTINATIONS, N_TIMESTEPS), collapsed_coords
+    )
+    three_way = dbtf(collapsed, rank=N_ATTACKS, seed=0, n_initial_sets=6)
+    print(f"\n3-way workaround (port mode dropped): relative error "
+          f"{three_way.relative_error:.3f} — ports are no longer attributable")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Detecting attack traffic in network logs (the paper's CAIDA-DDoS scenario).
+
+DDoS traffic forms dense blocks in the source-IP x destination-IP x time
+tensor: many sources hammer a few destinations over a contiguous window.
+This example plants attack slabs in background traffic and compares the two
+block-discovery approaches the paper evaluates:
+
+* DBTF's Boolean CP components, and
+* Walk'n'Merge's random-walk dense blocks,
+
+scoring both on how well their components isolate the attack cells.
+
+Run:  python examples/network_intrusion.py
+"""
+
+import numpy as np
+
+from repro import dbtf
+from repro.baselines import WalkNMergeConfig, walk_n_merge
+from repro.datasets import blocky_tensor
+from repro.tensor import outer_product, random_tensor
+
+N_SOURCES = 128
+N_DESTINATIONS = 64
+N_TIMESTEPS = 48
+N_ATTACKS = 4
+
+
+def synthesize_traffic(rng):
+    """Attack slabs plus uniform background chatter; returns both layers."""
+    attacks = blocky_tensor(
+        shape=(N_SOURCES, N_DESTINATIONS, N_TIMESTEPS),
+        n_blocks=N_ATTACKS,
+        block_dims=((20, 40), (2, 4), (6, 12)),
+        rng=rng,
+        block_fill=0.95,
+    )
+    background = random_tensor(
+        (N_SOURCES, N_DESTINATIONS, N_TIMESTEPS), density=0.002, rng=rng
+    )
+    return attacks.boolean_or(background), attacks
+
+
+def attack_detection_score(tensor, attacks, factors):
+    """Precision/recall of the factorization's coverage on attack cells."""
+    rank = factors[0].n_cols
+    covered = None
+    for component in range(rank):
+        block = outer_product(
+            factors[0].column(component),
+            factors[1].column(component),
+            factors[2].column(component),
+        )
+        covered = block if covered is None else covered.boolean_or(block)
+    true_positive = covered.boolean_and(attacks).nnz
+    precision = true_positive / covered.nnz if covered.nnz else 0.0
+    recall = true_positive / attacks.nnz if attacks.nnz else 1.0
+    return precision, recall
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    traffic, attacks = synthesize_traffic(rng)
+    print(f"traffic tensor : {traffic.nnz} flow records "
+          f"({N_SOURCES} sources x {N_DESTINATIONS} destinations x "
+          f"{N_TIMESTEPS} timesteps)")
+    print(f"attack cells   : {attacks.nnz} "
+          f"({attacks.nnz / traffic.nnz:.0%} of traffic)\n")
+
+    dbtf_result = dbtf(traffic, rank=N_ATTACKS, seed=0, n_initial_sets=4)
+    precision, recall = attack_detection_score(traffic, attacks, dbtf_result.factors)
+    print("DBTF components as attack detectors:")
+    print(f"  relative error: {dbtf_result.relative_error:.3f}")
+    print(f"  precision     : {precision:.3f}")
+    print(f"  recall        : {recall:.3f}\n")
+
+    wnm_result = walk_n_merge(
+        traffic,
+        rank=N_ATTACKS,
+        config=WalkNMergeConfig(density_threshold=0.7, seed=0),
+    )
+    precision, recall = attack_detection_score(traffic, attacks, wnm_result.factors)
+    print("Walk'n'Merge blocks as attack detectors:")
+    print(f"  blocks found  : {wnm_result.details['n_blocks']}")
+    print(f"  relative error: {wnm_result.relative_error:.3f}")
+    print(f"  precision     : {precision:.3f}")
+    print(f"  recall        : {recall:.3f}\n")
+
+    # Report the attack windows DBTF isolated.
+    _, b_matrix, c_matrix = dbtf_result.factors
+    for component in range(N_ATTACKS):
+        destinations = np.flatnonzero(b_matrix.column(component))
+        times = np.flatnonzero(c_matrix.column(component))
+        sources = int(dbtf_result.factors[0].column(component).sum())
+        if destinations.size == 0 or times.size == 0:
+            continue
+        print(f"alert {component}: {sources} sources -> destinations "
+              f"{destinations.tolist()} during t={times.min()}..{times.max()}")
+
+
+if __name__ == "__main__":
+    main()

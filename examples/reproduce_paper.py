@@ -1,0 +1,135 @@
+"""Regenerate every table and figure of the paper's evaluation, scaled.
+
+Runs the full experiment harness — Figures 1(a)-(c), 6, 7, the Section IV-D
+reconstruction-error sweeps, and Tables I/III — and writes each result to
+``results/`` while printing it.  See EXPERIMENTS.md for the paper-vs-measured
+comparison and the scaling notes.
+
+Run:  python examples/reproduce_paper.py [--quick]
+
+``--quick`` shrinks every grid so the whole script finishes in ~2 minutes;
+the default takes on the order of 15-25 minutes on one core.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.datasets import ErrorTensorSpec
+from repro.experiments import (
+    run_additive_noise_sweep,
+    run_density,
+    run_destructive_noise_sweep,
+    run_dimensionality,
+    run_factor_density_sweep,
+    run_machine_scalability,
+    run_rank,
+    run_rank_sweep,
+    run_realworld,
+    table1,
+    table3,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def make_emitter(quick: bool):
+    """Writer for result tables; quick runs go to results/quick/ so they
+    never overwrite the full-grid tables EXPERIMENTS.md references."""
+    target = RESULTS_DIR / "quick" if quick else RESULTS_DIR
+
+    def emit(table, filename: str) -> None:
+        target.mkdir(parents=True, exist_ok=True)
+        text = table.to_text()
+        (target / filename).write_text(text + "\n")
+        print(text)
+        print()
+
+    return emit
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny grids; finishes in about two minutes")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    emit = make_emitter(args.quick)
+    if args.quick:
+        exponents, timeout = (4, 5, 6), 20.0
+        densities = (0.01, 0.1, 0.3)
+        ranks = (10, 20)
+        error_spec = ErrorTensorSpec(shape=(32, 32, 32), rank=5, factor_density=0.2)
+        noise_levels = (0.0, 0.1)
+        density_grid = (0.1, 0.2)
+        rank_grid = (3, 5)
+        datasets = ("facebook", "dblp", "nell-s")
+    else:
+        exponents, timeout = (4, 5, 6, 7, 8, 9), 60.0
+        densities = (0.01, 0.05, 0.1, 0.2, 0.3)
+        ranks = (10, 20, 30, 40, 50, 60)
+        error_spec = ErrorTensorSpec()
+        noise_levels = (0.0, 0.05, 0.1, 0.2, 0.3)
+        density_grid = (0.05, 0.1, 0.15, 0.2)
+        rank_grid = (5, 10, 15, 20)
+        datasets = None  # all of Table III
+
+    print("== Figure 1(a): dimensionality ==")
+    fig1a = run_dimensionality(exponents=exponents, timeout_sec=timeout)
+    emit(fig1a, "figure1a_dimensionality.txt")
+
+    print("== Figure 1(b): density ==")
+    fig1b = run_density(densities=densities, timeout_sec=timeout)
+    emit(fig1b, "figure1b_density.txt")
+
+    print("== Figure 1(c): rank ==")
+    fig1c = run_rank(ranks=ranks, timeout_sec=timeout)
+    emit(fig1c, "figure1c_rank.txt")
+
+    print("== Table I: scalability matrix (derived from Figure 1) ==")
+    emit(table1(dimensionality=fig1a, density=fig1b, rank=fig1c), "table1.txt")
+
+    print("== Table III: datasets ==")
+    emit(table3(), "table3.txt")
+
+    print("== Figure 6: real-world datasets ==")
+    emit(run_realworld(dataset_names=datasets, timeout_sec=min(timeout, 30.0)),
+         "figure6_realworld.txt")
+
+    print("== Figure 7: machine scalability ==")
+    emit(run_machine_scalability(exponent=min(max(exponents), 7)),
+         "figure7_machines.txt")
+
+    print("== Sec. IV-D: error vs factor density ==")
+    emit(run_factor_density_sweep(densities=density_grid, base=error_spec),
+         "error_factor_density.txt")
+
+    print("== Sec. IV-D: error vs rank ==")
+    emit(run_rank_sweep(ranks=rank_grid, base=error_spec), "error_rank.txt")
+
+    print("== Sec. IV-D: error vs additive noise ==")
+    emit(run_additive_noise_sweep(
+        levels=noise_levels,
+        base=ErrorTensorSpec(shape=error_spec.shape, rank=error_spec.rank,
+                             factor_density=error_spec.factor_density,
+                             destructive_noise=0.0)),
+        "error_additive_noise.txt")
+
+    print("== Sec. IV-D: error vs destructive noise ==")
+    emit(run_destructive_noise_sweep(
+        levels=tuple(level for level in noise_levels if level <= 0.2),
+        base=ErrorTensorSpec(shape=error_spec.shape, rank=error_spec.rank,
+                             factor_density=error_spec.factor_density,
+                             additive_noise=0.0)),
+        "error_destructive_noise.txt")
+
+    target = RESULTS_DIR / "quick" if args.quick else RESULTS_DIR
+    print(f"done in {time.perf_counter() - started:.0f}s; "
+          f"tables written to {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

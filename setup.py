@@ -1,0 +1,5 @@
+"""Legacy setuptools shim for offline editable installs (pip install -e .)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of DBTF (ICDE 2017).
+
+Fast and Scalable Distributed Boolean Tensor Factorization, reimplemented as
+a pure-Python library: the DBTF algorithm on a simulated distributed engine,
+the BCP_ALS and Walk'n'Merge baselines, synthetic workloads, and the paper's
+full evaluation harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import dbtf, planted_tensor
+
+    rng = np.random.default_rng(0)
+    tensor, _ = planted_tensor((64, 64, 64), rank=8, factor_density=0.2, rng=rng)
+    result = dbtf(tensor, rank=8, seed=0)
+    print(result.error, result.relative_error)
+"""
+
+from .bitops import BitMatrix
+from .core import DbtfConfig, DecompositionResult, dbtf
+from .tucker import BooleanTuckerConfig, BooleanTuckerResult, boolean_tucker
+from .tensor import (
+    SparseBoolTensor,
+    add_additive_noise,
+    add_destructive_noise,
+    load_tensor,
+    planted_tensor,
+    random_factors,
+    random_tensor,
+    save_tensor,
+    tensor_from_factors,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitMatrix",
+    "SparseBoolTensor",
+    "dbtf",
+    "DbtfConfig",
+    "DecompositionResult",
+    "boolean_tucker",
+    "BooleanTuckerConfig",
+    "BooleanTuckerResult",
+    "tensor_from_factors",
+    "random_tensor",
+    "random_factors",
+    "planted_tensor",
+    "add_additive_noise",
+    "add_destructive_noise",
+    "save_tensor",
+    "load_tensor",
+    "__version__",
+]

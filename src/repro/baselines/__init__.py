@@ -1,0 +1,29 @@
+"""Baseline Boolean tensor factorization algorithms from the paper."""
+
+from .asso import AssoResult, asso, association_matrix
+from .bcp_als import bcp_als, update_factor_uncached
+from .common import BaselineResult, MemoryBudgetExceeded, reconstruction_error_of
+from .naive import error_of_rank1, exhaustive_best_rank1
+from .walk_n_merge import (
+    DenseBlock,
+    WalkNMergeConfig,
+    blocks_to_factors,
+    walk_n_merge,
+)
+
+__all__ = [
+    "asso",
+    "AssoResult",
+    "association_matrix",
+    "bcp_als",
+    "update_factor_uncached",
+    "walk_n_merge",
+    "WalkNMergeConfig",
+    "DenseBlock",
+    "blocks_to_factors",
+    "BaselineResult",
+    "MemoryBudgetExceeded",
+    "reconstruction_error_of",
+    "exhaustive_best_rank1",
+    "error_of_rank1",
+]

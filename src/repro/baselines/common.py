@@ -1,0 +1,62 @@
+"""Shared result type and helpers for the baseline algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bitops import BitMatrix
+from ..tensor import SparseBoolTensor, tensor_from_factors
+
+__all__ = ["BaselineResult", "MemoryBudgetExceeded", "reconstruction_error_of"]
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """Raised when a baseline would exceed its memory budget.
+
+    BCP_ALS's ASSO initialization builds an association matrix quadratic in
+    the number of unfolded-tensor columns; on the paper's real-world tensors
+    this is what makes BCP_ALS fail with out-of-memory errors (Fig. 6).  The
+    guard turns that failure mode into a catchable, reportable event instead
+    of taking the host down.
+    """
+
+
+def reconstruction_error_of(
+    tensor: SparseBoolTensor, factors: tuple[BitMatrix, BitMatrix, BitMatrix]
+) -> int:
+    """``|X ⊕ X̃|`` for a factor triple."""
+    return tensor.hamming_distance(tensor_from_factors(factors))
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline Boolean CP factorization.
+
+    Mirrors :class:`repro.core.DecompositionResult` for the fields the
+    experiments compare, plus baseline-specific extras in ``details``.
+    """
+
+    method: str
+    factors: tuple[BitMatrix, BitMatrix, BitMatrix]
+    error: int
+    input_nnz: int
+    errors_per_iteration: tuple[int, ...] = ()
+    converged: bool = False
+    details: dict = field(default_factory=dict)
+
+    @property
+    def relative_error(self) -> float:
+        return self.error / self.input_nnz if self.input_nnz else float(self.error)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.errors_per_iteration)
+
+    def reconstruct(self) -> SparseBoolTensor:
+        return tensor_from_factors(self.factors)
+
+    def __repr__(self) -> str:
+        return (
+            f"BaselineResult({self.method}, error={self.error}, "
+            f"relative_error={self.relative_error:.4f})"
+        )

@@ -1,0 +1,53 @@
+"""Exhaustive solvers for tiny tensors — test oracles, not baselines.
+
+These enumerate candidate factors outright, so they are exponential and only
+usable on toy sizes, but they give the test suite ground truth to verify the
+heuristics against.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from ..bitops import BitMatrix
+from ..tensor import SparseBoolTensor, outer_product
+
+__all__ = ["exhaustive_best_rank1", "error_of_rank1"]
+
+
+def error_of_rank1(
+    tensor: SparseBoolTensor, a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> int:
+    """``|X ⊕ a ∘ b ∘ c|``."""
+    return tensor.hamming_distance(outer_product(a, b, c))
+
+
+def exhaustive_best_rank1(
+    tensor: SparseBoolTensor,
+) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], int]:
+    """The globally optimal rank-1 Boolean approximation, by enumeration.
+
+    Complexity is ``2**(I+J+K)``; intended for I, J, K <= 4.
+    """
+    shape = tensor.shape
+    total_bits = sum(shape)
+    if total_bits > 14:
+        raise ValueError(
+            f"exhaustive search over 2^{total_bits} candidates is too large; "
+            "use tensors with I+J+K <= 14"
+        )
+    best_vectors = None
+    best_error = None
+    options = [list(product((0, 1), repeat=dimension)) for dimension in shape]
+    for a in options[0]:
+        for b in options[1]:
+            for c in options[2]:
+                error = error_of_rank1(
+                    tensor, np.asarray(a), np.asarray(b), np.asarray(c)
+                )
+                if best_error is None or error < best_error:
+                    best_error = error
+                    best_vectors = (np.asarray(a), np.asarray(b), np.asarray(c))
+    return best_vectors, best_error

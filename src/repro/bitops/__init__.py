@@ -1,0 +1,34 @@
+"""Bit-packed Boolean linear algebra (the reproduction's low-level kernel)."""
+
+from .bitmatrix import BitMatrix
+from .ops import boolean_matmul, khatri_rao, or_accumulate_table, pointwise_vector_matrix
+from .packing import (
+    WORD_BITS,
+    indices_from_mask,
+    mask_from_indices,
+    pack_bits,
+    packed_zeros,
+    popcount,
+    popcount_rows,
+    slice_bits,
+    unpack_bits,
+    words_for_bits,
+)
+
+__all__ = [
+    "BitMatrix",
+    "WORD_BITS",
+    "boolean_matmul",
+    "khatri_rao",
+    "or_accumulate_table",
+    "pointwise_vector_matrix",
+    "pack_bits",
+    "unpack_bits",
+    "packed_zeros",
+    "popcount",
+    "popcount_rows",
+    "slice_bits",
+    "words_for_bits",
+    "mask_from_indices",
+    "indices_from_mask",
+]

@@ -1,0 +1,98 @@
+"""Boolean linear-algebra operations on :class:`BitMatrix` operands.
+
+These implement the operators of Section II of the paper: the Boolean matrix
+product (Eq. 6), the Khatri-Rao product (Eq. 3) under Boolean semantics, and
+the pointwise vector-matrix product (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitmatrix import BitMatrix
+
+__all__ = [
+    "boolean_matmul",
+    "khatri_rao",
+    "pointwise_vector_matrix",
+    "or_accumulate_table",
+]
+
+
+def boolean_matmul(left: BitMatrix, right: BitMatrix) -> BitMatrix:
+    """Boolean matrix product ``left ∘ right`` (Eq. 6).
+
+    ``(left ∘ right)[i, j] = OR_k left[i, k] AND right[k, j]``.  Implemented
+    row-wise: output row *i* is the OR of the rows of ``right`` selected by
+    the nonzeros of ``left``'s row *i* (Lemma 1).
+    """
+    if left.n_cols != right.n_rows:
+        raise ValueError(
+            f"inner dimensions differ: {left.shape} ∘ {right.shape}"
+        )
+    out_words = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
+    left_dense = left.to_dense().astype(bool)
+    for i in range(left.n_rows):
+        selected = np.flatnonzero(left_dense[i])
+        if selected.size:
+            out_words[i] = np.bitwise_or.reduce(right.words[selected], axis=0)
+    return BitMatrix(left.n_rows, right.n_cols, out_words)
+
+
+def khatri_rao(left: BitMatrix, right: BitMatrix) -> BitMatrix:
+    """Column-wise Kronecker product ``left ⊙ right`` (Eq. 3).
+
+    For Boolean inputs the result is Boolean.  Column *r* of the result is
+    ``left[:, r] ⊗ right[:, r]``; the row indexed by ``(p, q)`` maps to flat
+    row ``p * right.n_rows + q``, matching the paper's matricization layout
+    where block *p* of the unfolding corresponds to row *p* of the first
+    (outer) matrix.
+    """
+    if left.n_cols != right.n_cols:
+        raise ValueError(
+            f"Khatri-Rao needs equal column counts: {left.shape} vs {right.shape}"
+        )
+    left_dense = left.to_dense().astype(bool)
+    right_dense = right.to_dense().astype(bool)
+    # (P, 1, R) & (1, Q, R) -> (P, Q, R) -> (P*Q, R)
+    product = (left_dense[:, None, :] & right_dense[None, :, :]).astype(np.uint8)
+    flat = product.reshape(left.n_rows * right.n_rows, left.n_cols)
+    return BitMatrix.from_dense(flat)
+
+
+def pointwise_vector_matrix(vector: np.ndarray, matrix: BitMatrix) -> BitMatrix:
+    """Pointwise vector-matrix product ``v ∗ M`` (Eq. 4).
+
+    Column *r* of the result is ``v[r] * M[:, r]`` — i.e. columns of ``M``
+    are kept where the vector is 1 and zeroed where it is 0.
+    """
+    vector = np.asarray(vector).ravel()
+    if vector.shape[0] != matrix.n_cols:
+        raise ValueError(
+            f"vector length {vector.shape[0]} != matrix columns {matrix.n_cols}"
+        )
+    dense = matrix.to_dense() * vector.astype(np.uint8)[None, :]
+    return BitMatrix.from_dense(dense)
+
+
+def or_accumulate_table(columns_packed: np.ndarray, n_columns: int) -> np.ndarray:
+    """All ``2**n_columns`` Boolean sums of a set of packed rows.
+
+    ``columns_packed`` has shape ``(n_columns, n_words)``; entry ``mask`` of
+    the returned ``(2**n_columns, n_words)`` table is the OR of the rows whose
+    bit is set in ``mask``.  Built by doubling — table entry ``m | 2^b`` is
+    ``table[m] | columns_packed[b]`` — in ``n_columns`` vectorized steps.
+    This is the cache-table construction of Section III-C.
+    """
+    if n_columns < 0:
+        raise ValueError("n_columns must be non-negative")
+    if columns_packed.shape[0] < n_columns:
+        raise ValueError(
+            f"need at least {n_columns} packed rows, got {columns_packed.shape[0]}"
+        )
+    n_words = columns_packed.shape[1]
+    table = np.zeros((1 << n_columns, n_words), dtype=np.uint64)
+    for bit in range(n_columns):
+        half = 1 << bit
+        table[half : 2 * half] = table[:half] | columns_packed[bit]
+    return table

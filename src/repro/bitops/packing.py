@@ -1,0 +1,143 @@
+"""Low-level bit-packing primitives.
+
+All Boolean matrices in this package store their rows packed into ``uint64``
+words, least-significant-bit first: bit ``c`` of a row lives in word
+``c // 64`` at position ``c % 64``.  Packing is what makes a pure-Python
+reproduction of DBTF practical: Boolean row summation becomes a word-wise
+``|``, the reconstruction error becomes ``^`` followed by a population count,
+and cache keys (Section III-C of the paper) become integer bitmasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+_WORD_DTYPE = np.uint64
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_bits",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "popcount_rows",
+    "slice_bits",
+    "mask_from_indices",
+    "indices_from_mask",
+    "packed_zeros",
+    "set_bit",
+    "get_bit",
+]
+
+
+def words_for_bits(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def packed_zeros(shape: tuple[int, ...], n_bits: int) -> np.ndarray:
+    """An all-zero packed array whose trailing axis holds ``n_bits`` bits."""
+    return np.zeros(shape + (words_for_bits(n_bits),), dtype=_WORD_DTYPE)
+
+
+def pack_bits(dense: np.ndarray) -> np.ndarray:
+    """Pack the trailing axis of a 0/1 array into uint64 words (LSB first).
+
+    ``dense`` may have any leading shape; only the last axis is packed.
+    """
+    dense = np.asarray(dense)
+    if dense.ndim == 0:
+        raise ValueError("cannot pack a scalar")
+    n_bits = dense.shape[-1]
+    # numpy's packbits is big-endian per byte by default; request little so
+    # that bit c sits at position c % 8 of byte c // 8.
+    as_bytes = np.packbits(dense.astype(bool), axis=-1, bitorder="little")
+    n_words = words_for_bits(n_bits)
+    padded = np.zeros(dense.shape[:-1] + (n_words * 8,), dtype=np.uint8)
+    padded[..., : as_bytes.shape[-1]] = as_bytes
+    return padded.view(_WORD_DTYPE).reshape(dense.shape[:-1] + (n_words,))
+
+
+def unpack_bits(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a uint8 0/1 array."""
+    packed = np.ascontiguousarray(packed, dtype=_WORD_DTYPE)
+    as_bytes = packed.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n_bits]
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Total number of set bits in a packed array."""
+    return int(np.bitwise_count(packed).sum())
+
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Per-row popcount: sums set bits over the trailing (word) axis."""
+    return np.bitwise_count(packed).sum(axis=-1, dtype=np.int64)
+
+
+def slice_bits(packed: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Extract bit columns ``[start, stop)`` from a packed array.
+
+    The result is re-packed so the extracted range starts at bit 0.  Used to
+    derive the narrow per-block cache tables of Lemma 3 (block types 1/2/4)
+    from a full-width pointwise vector-matrix product table.
+    """
+    if not 0 <= start <= stop:
+        raise ValueError(f"invalid bit range [{start}, {stop})")
+    width = stop - start
+    if width == 0:
+        return np.zeros(packed.shape[:-1] + (0,), dtype=_WORD_DTYPE)
+    first_word = start // WORD_BITS
+    last_word = (stop - 1) // WORD_BITS
+    window = np.ascontiguousarray(packed[..., first_word : last_word + 1])
+    shift = start % WORD_BITS
+    if shift:
+        shifted = window >> _WORD_DTYPE(shift)
+        carry = window[..., 1:] << _WORD_DTYPE(WORD_BITS - shift)
+        shifted[..., :-1] |= carry
+        window = shifted
+    n_words = words_for_bits(width)
+    window = window[..., :n_words].copy()
+    tail = width % WORD_BITS
+    if tail:
+        window[..., -1] &= _WORD_DTYPE((1 << tail) - 1)
+    return window
+
+
+def mask_from_indices(indices: np.ndarray | list[int]) -> int:
+    """Build an integer bitmask with the given bit positions set."""
+    mask = 0
+    for index in np.asarray(indices, dtype=np.int64).ravel():
+        mask |= 1 << int(index)
+    return mask
+
+
+def indices_from_mask(mask: int) -> list[int]:
+    """The set bit positions of an integer bitmask, ascending."""
+    indices = []
+    position = 0
+    while mask:
+        if mask & 1:
+            indices.append(position)
+        mask >>= 1
+        position += 1
+    return indices
+
+
+def set_bit(packed: np.ndarray, row: int, bit: int, value: int) -> None:
+    """Set or clear one bit of one packed row in place."""
+    word, offset = divmod(bit, WORD_BITS)
+    if value:
+        packed[row, word] |= _WORD_DTYPE(1 << offset)
+    else:
+        packed[row, word] &= _WORD_DTYPE(~(1 << offset) & (2**WORD_BITS - 1))
+
+
+def get_bit(packed: np.ndarray, row: int, bit: int) -> int:
+    """Read one bit of one packed row."""
+    word, offset = divmod(bit, WORD_BITS)
+    return int((packed[row, word] >> _WORD_DTYPE(offset)) & _WORD_DTYPE(1))

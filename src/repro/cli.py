@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Four subcommands cover the library's day-to-day uses:
+
+* ``generate`` — write a synthetic tensor (uniform random, planted-factor,
+  or a Table III dataset stand-in) to a coordinate text file;
+* ``info`` — print a tensor file's shape, nonzero count, and density;
+* ``factorize`` — run DBTF / BCP_ALS / Walk'n'Merge / Boolean Tucker on a
+  tensor file, print the summary, and optionally save the factors;
+* ``experiment`` — regenerate one of the paper's tables or figures.
+
+Examples::
+
+    python -m repro generate --kind planted --shape 64 64 64 --rank 8 \
+        --out tensor.tns
+    python -m repro factorize tensor.tns --method dbtf --rank 8 \
+        --factors-out factors/
+    python -m repro experiment fig1a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Boolean tensor factorization (DBTF reproduction, ICDE 2017)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic Boolean tensor to a file"
+    )
+    generate.add_argument(
+        "--kind", choices=["random", "planted", "dataset"], default="random"
+    )
+    generate.add_argument(
+        "--shape", type=int, nargs=3, default=[64, 64, 64], metavar=("I", "J", "K")
+    )
+    generate.add_argument("--density", type=float, default=0.01,
+                          help="density for --kind random")
+    generate.add_argument("--rank", type=int, default=10,
+                          help="planted rank for --kind planted")
+    generate.add_argument("--factor-density", type=float, default=0.1)
+    generate.add_argument("--additive-noise", type=float, default=0.0)
+    generate.add_argument("--destructive-noise", type=float, default=0.0)
+    generate.add_argument("--dataset", default="facebook",
+                          help="Table III stand-in name for --kind dataset")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output .tns path")
+
+    info = subparsers.add_parser("info", help="print tensor statistics")
+    info.add_argument("tensor", help="input .tns path")
+
+    factorize = subparsers.add_parser(
+        "factorize", help="factorize a Boolean tensor file"
+    )
+    factorize.add_argument("tensor", help="input .tns path")
+    factorize.add_argument(
+        "--method",
+        choices=["dbtf", "bcp-als", "walk-n-merge", "tucker", "nway-cp"],
+        default="dbtf",
+    )
+    factorize.add_argument("--rank", type=int, default=10)
+    factorize.add_argument("--core-shape", type=int, nargs=3, default=None,
+                           metavar=("R1", "R2", "R3"),
+                           help="core sizes for --method tucker (default rank^3)")
+    factorize.add_argument("--max-iterations", type=int, default=10)
+    factorize.add_argument("--initial-sets", type=int, default=1,
+                           help="DBTF's L parameter")
+    factorize.add_argument("--partitions", type=int, default=None,
+                           help="DBTF's N parameter")
+    factorize.add_argument("--density-threshold", type=float, default=0.9,
+                           help="Walk'n'Merge's t parameter")
+    factorize.add_argument("--seed", type=int, default=0)
+    factorize.add_argument("--factors-out", default=None,
+                           help="directory for A.mtx/B.mtx/C.mtx")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig1a", "fig1b", "fig1c", "fig6", "fig7",
+            "error-density", "error-rank", "error-additive",
+            "error-destructive", "table1", "table3",
+            "lemma-traffic-iterations", "lemma-traffic-partitions",
+        ],
+    )
+    experiment.add_argument("--timeout", type=float, default=30.0,
+                            help="per-run budget in seconds")
+    experiment.add_argument("--chart", action="store_true",
+                            help="also render the series as a bar chart")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from .datasets import load_dataset
+    from .tensor import planted_tensor, random_tensor, save_tensor
+
+    rng = np.random.default_rng(args.seed)
+    shape = tuple(args.shape)
+    if args.kind == "random":
+        tensor = random_tensor(shape, args.density, rng)
+    elif args.kind == "planted":
+        tensor, _ = planted_tensor(
+            shape,
+            rank=args.rank,
+            factor_density=args.factor_density,
+            rng=rng,
+            additive_noise=args.additive_noise,
+            destructive_noise=args.destructive_noise,
+        )
+    else:
+        tensor = load_dataset(args.dataset, seed=args.seed)
+    save_tensor(tensor, args.out)
+    print(f"wrote {tensor} to {args.out}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    from .tensor import load_tensor
+
+    tensor = load_tensor(args.tensor)
+    print(f"shape   : {'x'.join(str(s) for s in tensor.shape)}")
+    print(f"nonzeros: {tensor.nnz}")
+    print(f"density : {tensor.density():.6f}")
+    return 0
+
+
+def _command_factorize(args: argparse.Namespace) -> int:
+    from .tensor import load_tensor, save_factors
+
+    tensor = load_tensor(args.tensor)
+    if args.method == "dbtf":
+        from .core import dbtf
+
+        result = dbtf(
+            tensor,
+            rank=args.rank,
+            seed=args.seed,
+            max_iterations=args.max_iterations,
+            n_initial_sets=args.initial_sets,
+            n_partitions=args.partitions,
+        )
+        print(f"method         : DBTF (simulated {result.report.n_machines} machines)")
+        print(f"simulated time : {result.report.simulated_time:.2f} s")
+    elif args.method == "bcp-als":
+        from .baselines import bcp_als
+
+        result = bcp_als(tensor, rank=args.rank, max_iterations=args.max_iterations)
+        print("method         : BCP_ALS")
+    elif args.method == "walk-n-merge":
+        from .baselines import WalkNMergeConfig, walk_n_merge
+
+        result = walk_n_merge(
+            tensor,
+            rank=args.rank,
+            config=WalkNMergeConfig(
+                density_threshold=args.density_threshold, seed=args.seed
+            ),
+        )
+        print(f"method         : Walk'n'Merge ({result.details['n_blocks']} blocks)")
+    elif args.method == "nway-cp":
+        from .nway import NwayCpConfig, cp_nway
+
+        result = cp_nway(
+            tensor,
+            config=NwayCpConfig(
+                rank=args.rank,
+                max_iterations=args.max_iterations,
+                n_initial_sets=args.initial_sets,
+                seed=args.seed,
+            ),
+        )
+        print(f"method         : N-way Boolean CP ({tensor.ndim} modes)")
+    else:
+        from .tucker import BooleanTuckerConfig, boolean_tucker
+
+        core_shape = tuple(args.core_shape) if args.core_shape else (args.rank,) * 3
+        result = boolean_tucker(
+            tensor,
+            config=BooleanTuckerConfig(
+                core_shape=core_shape,
+                max_iterations=args.max_iterations,
+                n_initial_sets=args.initial_sets,
+                seed=args.seed,
+            ),
+        )
+        print(f"method         : Boolean Tucker (core {core_shape}, "
+              f"{result.core.nnz} core nonzeros)")
+
+    print(f"error          : {result.error}")
+    print(f"relative error : {result.relative_error:.4f}")
+
+    if args.factors_out:
+        if len(result.factors) == 3:
+            save_factors(result.factors, args.factors_out)
+        else:
+            import os
+
+            from .tensor import save_matrix
+
+            os.makedirs(args.factors_out, exist_ok=True)
+            for mode, factor in enumerate(result.factors):
+                save_matrix(
+                    factor, os.path.join(args.factors_out, f"factor_{mode}.mtx")
+                )
+        print(f"factors written to {args.factors_out}/")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    runners = {
+        "fig1a": lambda: experiments.run_dimensionality(
+            exponents=(4, 5, 6, 7), timeout_sec=args.timeout
+        ),
+        "fig1b": lambda: experiments.run_density(timeout_sec=args.timeout),
+        "fig1c": lambda: experiments.run_rank(timeout_sec=args.timeout),
+        "fig6": lambda: experiments.run_realworld(timeout_sec=args.timeout),
+        "fig7": lambda: experiments.run_machine_scalability(exponent=6),
+        "error-density": lambda: experiments.run_factor_density_sweep(
+            timeout_sec=args.timeout
+        ),
+        "error-rank": lambda: experiments.run_rank_sweep(timeout_sec=args.timeout),
+        "error-additive": lambda: experiments.run_additive_noise_sweep(
+            timeout_sec=args.timeout
+        ),
+        "error-destructive": lambda: experiments.run_destructive_noise_sweep(
+            timeout_sec=args.timeout
+        ),
+        "table1": lambda: experiments.table1(timeout_sec=args.timeout),
+        "table3": experiments.table3,
+        "lemma-traffic-iterations": experiments.run_traffic_vs_iterations,
+        "lemma-traffic-partitions": experiments.run_traffic_vs_partitions,
+    }
+    table = runners[args.name]()
+    print(table.to_text())
+    if args.chart:
+        from .experiments import ascii_bar_chart
+
+        print()
+        print(ascii_bar_chart(table))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "info": _command_info,
+        "factorize": _command_factorize,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""DBTF — the paper's primary contribution."""
+
+from .cache import RowSummationCache, split_groups
+from .config import DbtfConfig
+from .decompose import dbtf, prepare_partitioned_unfoldings
+from .partition import (
+    Block,
+    BlockType,
+    PartitionCoordinates,
+    PartitionData,
+    PartitionPlan,
+    build_partition_data,
+    make_partition_plans,
+    pack_partition,
+    split_unfolding_coordinates,
+)
+from .result import DecompositionResult
+from .update import CachedPartition, update_factor
+
+__all__ = [
+    "dbtf",
+    "DbtfConfig",
+    "DecompositionResult",
+    "RowSummationCache",
+    "split_groups",
+    "Block",
+    "BlockType",
+    "PartitionPlan",
+    "PartitionData",
+    "make_partition_plans",
+    "build_partition_data",
+    "PartitionCoordinates",
+    "split_unfolding_coordinates",
+    "pack_partition",
+    "update_factor",
+    "CachedPartition",
+    "prepare_partitioned_unfoldings",
+]

@@ -1,0 +1,275 @@
+"""Vertical partitioning of unfolded tensors (paper Sec. III-D, Fig. 5).
+
+A partition is a contiguous range of unfolded-tensor columns; it is further
+divided into *blocks* at the boundaries of the pointwise vector-matrix (PVM)
+products ``(c_j: ∗ B)ᵀ`` so that every block can fetch its Boolean row
+summations straight from a cache table (full-width blocks) or from a
+bit-sliced copy of one (partial blocks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitops import packing
+from ..tensor import PackedUnfolding, Unfolding
+
+__all__ = [
+    "BlockType",
+    "Block",
+    "PartitionPlan",
+    "PartitionData",
+    "PartitionCoordinates",
+    "make_partition_plans",
+    "build_partition_data",
+    "split_unfolding_coordinates",
+    "pack_partition",
+]
+
+
+class BlockType(enum.Enum):
+    """How a block sits inside its PVM product (Fig. 5 block kinds)."""
+
+    FULL = "full"          # covers an entire PVM product (type 3)
+    PREFIX = "prefix"      # starts at the PVM's first column (type 2)
+    SUFFIX = "suffix"      # ends at the PVM's last column (type 4)
+    INTERIOR = "interior"  # strictly inside one PVM product (type 1)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A contiguous column range inside one PVM product.
+
+    ``start``/``stop`` are offsets within the PVM product, so the absolute
+    unfolded columns are ``pvm_index * width + [start, stop)``.
+    """
+
+    pvm_index: int
+    start: int
+    stop: int
+    width: int  # full width of the underlying PVM product
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop <= self.width:
+            raise ValueError(
+                f"invalid block range [{self.start}, {self.stop}) "
+                f"within width {self.width}"
+            )
+
+    @property
+    def n_cols(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_full(self) -> bool:
+        return self.start == 0 and self.stop == self.width
+
+    @property
+    def block_type(self) -> BlockType:
+        if self.is_full:
+            return BlockType.FULL
+        if self.start == 0:
+            return BlockType.PREFIX
+        if self.stop == self.width:
+            return BlockType.SUFFIX
+        return BlockType.INTERIOR
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Column range and block decomposition of one vertical partition."""
+
+    index: int
+    col_start: int
+    col_stop: int
+    blocks: tuple[Block, ...]
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_stop - self.col_start
+
+    def block_types(self) -> set[BlockType]:
+        return {block.block_type for block in self.blocks}
+
+
+@dataclass
+class PartitionData:
+    """A partition's slice of the bit-packed unfolded tensor.
+
+    ``block_words[b]`` holds, for every matrix row, the packed bits of block
+    ``b``'s column range — the data the error kernel XORs against cached row
+    summations.  Built once and reused for the whole decomposition (the
+    paper caches partitioned unfoldings across iterations, Lemma 7).
+    """
+
+    plan: PartitionPlan
+    block_words: list[np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        return self.block_words[0].shape[0] if self.block_words else 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(words.nbytes) for words in self.block_words)
+
+
+def make_partition_plans(
+    block_count: int, block_width: int, n_partitions: int
+) -> list[PartitionPlan]:
+    """Split ``block_count * block_width`` columns into vertical partitions.
+
+    Partition sizes differ by at most one column (paper Algorithm 3:
+    ``floor(Q/N) <= H <= ceil(Q/N)``).  Each partition is then cut at PVM
+    boundaries into blocks; empty partitions (more partitions than columns)
+    get no blocks.
+    """
+    if block_count <= 0 or block_width <= 0:
+        raise ValueError(
+            f"block_count and block_width must be positive, "
+            f"got {block_count} and {block_width}"
+        )
+    if n_partitions <= 0:
+        raise ValueError(f"n_partitions must be positive, got {n_partitions}")
+    total_cols = block_count * block_width
+    base, extra = divmod(total_cols, n_partitions)
+    plans = []
+    cursor = 0
+    for index in range(n_partitions):
+        size = base + (1 if index < extra else 0)
+        col_start, col_stop = cursor, cursor + size
+        cursor = col_stop
+        plans.append(
+            PartitionPlan(
+                index=index,
+                col_start=col_start,
+                col_stop=col_stop,
+                blocks=tuple(_blocks_for_range(col_start, col_stop, block_width)),
+            )
+        )
+    return plans
+
+
+def _blocks_for_range(col_start: int, col_stop: int, width: int) -> list[Block]:
+    """Cut an absolute column range at multiples of ``width``."""
+    blocks = []
+    cursor = col_start
+    while cursor < col_stop:
+        pvm_index = cursor // width
+        pvm_end = (pvm_index + 1) * width
+        stop = min(col_stop, pvm_end)
+        blocks.append(
+            Block(
+                pvm_index=pvm_index,
+                start=cursor - pvm_index * width,
+                stop=stop - pvm_index * width,
+                width=width,
+            )
+        )
+        cursor = stop
+    return blocks
+
+
+@dataclass(frozen=True)
+class PartitionCoordinates:
+    """One partition's share of the sparse unfolding — what Spark shuffles.
+
+    The paper's Algorithm 3 shuffles the unfolded tensor's nonzeros so each
+    machine holds a column range (O(|X|) bytes, Lemma 6); the machine then
+    organizes its share into packed blocks locally (:func:`pack_partition`).
+    """
+
+    plan: PartitionPlan
+    n_rows: int
+    rows: np.ndarray
+    block_ids: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return self.rows.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of the shuffled (row, block, offset) triples."""
+        return int(
+            self.rows.nbytes + self.block_ids.nbytes + self.offsets.nbytes
+        )
+
+
+def split_unfolding_coordinates(
+    unfolding: Unfolding, plans: list[PartitionPlan]
+) -> list[PartitionCoordinates]:
+    """Assign each unfolded nonzero to its vertical partition."""
+    columns = unfolding.columns()
+    order = np.argsort(columns, kind="stable")
+    sorted_columns = columns[order]
+    rows = unfolding.rows[order]
+    block_ids = unfolding.block_ids[order]
+    offsets = unfolding.offsets[order]
+    pieces = []
+    for plan in plans:
+        start = np.searchsorted(sorted_columns, plan.col_start, side="left")
+        stop = np.searchsorted(sorted_columns, plan.col_stop, side="left")
+        pieces.append(
+            PartitionCoordinates(
+                plan=plan,
+                n_rows=unfolding.n_rows,
+                rows=rows[start:stop].copy(),
+                block_ids=block_ids[start:stop].copy(),
+                offsets=offsets[start:stop].copy(),
+            )
+        )
+    return pieces
+
+
+def pack_partition(coordinates: PartitionCoordinates) -> PartitionData:
+    """Organize a partition's nonzeros into bit-packed blocks.
+
+    This is the executor-local step of Algorithm 3 ("further split p into a
+    set of blocks"); it runs as a distributed (timed) task.
+    """
+    plan = coordinates.plan
+    block_words = []
+    for block in plan.blocks:
+        mask = coordinates.block_ids == block.pvm_index
+        if not block.is_full:
+            mask &= (coordinates.offsets >= block.start) & (
+                coordinates.offsets < block.stop
+            )
+        selected_rows = coordinates.rows[mask]
+        selected_offsets = coordinates.offsets[mask] - block.start
+        n_words = packing.words_for_bits(block.n_cols)
+        words = np.zeros((coordinates.n_rows, n_words), dtype=np.uint64)
+        if selected_rows.size:
+            word_index = selected_offsets // packing.WORD_BITS
+            bit_offset = selected_offsets % packing.WORD_BITS
+            flat = words.reshape(-1)
+            linear = selected_rows * n_words + word_index
+            np.bitwise_or.at(
+                flat, linear, np.uint64(1) << bit_offset.astype(np.uint64)
+            )
+        block_words.append(words)
+    return PartitionData(plan=plan, block_words=block_words)
+
+
+def build_partition_data(
+    packed: PackedUnfolding, plans: list[PartitionPlan]
+) -> list[PartitionData]:
+    """Materialize each partition's packed tensor blocks from an unfolding."""
+    data = []
+    for plan in plans:
+        block_words = []
+        for block in plan.blocks:
+            pvm_words = packed.words[:, block.pvm_index, :]
+            if block.is_full:
+                block_words.append(pvm_words.copy())
+            else:
+                block_words.append(
+                    packing.slice_bits(pvm_words, block.start, block.stop)
+                )
+        data.append(PartitionData(plan=plan, block_words=block_words))
+    return data

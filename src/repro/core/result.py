@@ -1,0 +1,65 @@
+"""Decomposition results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitops import BitMatrix
+from ..distengine import ExecutionReport
+from ..tensor import SparseBoolTensor, tensor_from_factors
+from .config import DbtfConfig
+
+__all__ = ["DecompositionResult"]
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    """The outcome of a Boolean CP decomposition.
+
+    Attributes
+    ----------
+    factors:
+        The binary factor matrices ``(A, B, C)``.
+    error:
+        ``|X ⊕ X̃|`` — number of cells where the reconstruction differs
+        from the input (the paper's reconstruction error).
+    input_nnz:
+        ``|X|``, kept so the relative error is self-contained.
+    errors_per_iteration:
+        Error after each outer iteration (monotonically non-increasing).
+    converged:
+        Whether the error stopped improving before ``max_iterations``.
+    report:
+        Cost summary from the simulated distributed engine (None for
+        algorithms that run purely on the driver).
+    config:
+        The configuration that produced this result.
+    """
+
+    factors: tuple[BitMatrix, BitMatrix, BitMatrix]
+    error: int
+    input_nnz: int
+    errors_per_iteration: tuple[int, ...]
+    converged: bool
+    report: ExecutionReport | None
+    config: DbtfConfig
+
+    @property
+    def relative_error(self) -> float:
+        """Error normalized by the input nonzero count."""
+        return self.error / self.input_nnz if self.input_nnz else float(self.error)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.errors_per_iteration)
+
+    def reconstruct(self) -> SparseBoolTensor:
+        """The Boolean tensor the factors represent."""
+        return tensor_from_factors(self.factors)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecompositionResult(rank={self.config.rank}, error={self.error}, "
+            f"relative_error={self.relative_error:.4f}, "
+            f"iterations={self.n_iterations}, converged={self.converged})"
+        )

@@ -1,0 +1,30 @@
+"""Synthetic workloads and real-world dataset stand-ins."""
+
+from .graphs import connected_nonzero_components, fiber_graph
+from .importers import (
+    LabelledTensor,
+    bin_timestamps,
+    from_timestamped_edges,
+    from_triple_file,
+    from_triples,
+)
+from .registry import REGISTRY, DatasetSpec, list_datasets, load_dataset
+from .synthetic import ErrorTensorSpec, blocky_tensor, error_tensor, scalability_tensor
+
+__all__ = [
+    "REGISTRY",
+    "DatasetSpec",
+    "list_datasets",
+    "load_dataset",
+    "scalability_tensor",
+    "ErrorTensorSpec",
+    "error_tensor",
+    "blocky_tensor",
+    "LabelledTensor",
+    "from_triples",
+    "from_triple_file",
+    "from_timestamped_edges",
+    "bin_timestamps",
+    "fiber_graph",
+    "connected_nonzero_components",
+]

@@ -1,0 +1,134 @@
+"""Importers: build Boolean tensors from common raw-data formats.
+
+The paper's datasets arrive as triple files (NELL subject-relation-object),
+timestamped edge lists (Facebook interactions, CAIDA flows), and
+publication records (DBLP).  These helpers turn such raw rows into
+:class:`SparseBoolTensor` instances, mapping arbitrary labels to dense
+indices and binning continuous timestamps into a time mode.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import SparseBoolTensor
+
+__all__ = ["LabelledTensor", "from_triples", "from_triple_file", "bin_timestamps",
+           "from_timestamped_edges"]
+
+
+@dataclass(frozen=True)
+class LabelledTensor:
+    """A Boolean tensor plus the label of every index along each mode."""
+
+    tensor: SparseBoolTensor
+    labels: tuple[tuple[str, ...], ...]
+
+    def label_of(self, mode: int, index: int) -> str:
+        return self.labels[mode][index]
+
+    def index_of(self, mode: int, label: str) -> int:
+        """Index of a label along a mode (linear scan; modes are modest)."""
+        try:
+            return self.labels[mode].index(label)
+        except ValueError:
+            raise KeyError(f"label {label!r} not found in mode {mode}") from None
+
+
+def from_triples(rows: Iterable[Sequence[object]]) -> LabelledTensor:
+    """Build a three-way tensor from (subject, relation/object, ...) rows.
+
+    Each row supplies one label per mode; distinct labels are assigned
+    dense indices in first-seen order.  Duplicate rows collapse (the tensor
+    is Boolean).
+    """
+    label_maps: list[dict[str, int]] = [{}, {}, {}]
+    coords = []
+    for row_number, row in enumerate(rows):
+        if len(row) != 3:
+            raise ValueError(
+                f"row {row_number}: expected 3 fields, got {len(row)}"
+            )
+        coordinate = []
+        for mode, value in enumerate(row):
+            label = str(value)
+            mapping = label_maps[mode]
+            if label not in mapping:
+                mapping[label] = len(mapping)
+            coordinate.append(mapping[label])
+        coords.append(coordinate)
+    shape = tuple(max(len(mapping), 1) for mapping in label_maps)
+    coord_array = np.asarray(coords, dtype=np.int64).reshape(-1, 3)
+    labels = tuple(tuple(mapping) for mapping in label_maps)
+    return LabelledTensor(SparseBoolTensor(shape, coord_array), labels)
+
+
+def from_triple_file(
+    path: str | os.PathLike,
+    delimiter: str | None = None,
+    comment: str = "#",
+) -> LabelledTensor:
+    """Read whitespace/CSV triples from a text file (NELL-style dumps)."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 fields, got {len(parts)}"
+                )
+            rows.append(parts)
+    return from_triples(rows)
+
+
+def bin_timestamps(timestamps: np.ndarray, n_bins: int) -> np.ndarray:
+    """Map raw timestamps to ``n_bins`` equal-width bins over their range."""
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if timestamps.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    low = timestamps.min()
+    high = timestamps.max()
+    if high == low:
+        return np.zeros(timestamps.shape[0], dtype=np.int64)
+    scaled = (timestamps - low) / (high - low) * n_bins
+    return np.minimum(scaled.astype(np.int64), n_bins - 1)
+
+
+def from_timestamped_edges(
+    edges: Iterable[tuple[object, object, float]],
+    n_time_bins: int,
+) -> LabelledTensor:
+    """Build an entity x entity x time tensor from timestamped edges.
+
+    Both endpoints share one label space (as in the paper's Facebook
+    user1-user2-timestamp tensor); timestamps are binned into
+    ``n_time_bins`` equal-width windows.
+    """
+    edges = list(edges)
+    entity_map: dict[str, int] = {}
+    sources = np.zeros(len(edges), dtype=np.int64)
+    targets = np.zeros(len(edges), dtype=np.int64)
+    times = np.zeros(len(edges), dtype=np.float64)
+    for position, (source, target, timestamp) in enumerate(edges):
+        for label in (str(source), str(target)):
+            if label not in entity_map:
+                entity_map[label] = len(entity_map)
+        sources[position] = entity_map[str(source)]
+        targets[position] = entity_map[str(target)]
+        times[position] = float(timestamp)
+    bins = bin_timestamps(times, n_time_bins)
+    n_entities = max(len(entity_map), 1)
+    coords = np.stack([sources, targets, bins], axis=1)
+    tensor = SparseBoolTensor((n_entities, n_entities, n_time_bins), coords)
+    entity_labels = tuple(entity_map)
+    time_labels = tuple(f"bin_{b}" for b in range(n_time_bins))
+    return LabelledTensor(tensor, (entity_labels, entity_labels, time_labels))

@@ -1,0 +1,183 @@
+"""Scaled stand-ins for the paper's real-world datasets (Table III).
+
+The original Facebook / DBLP / CAIDA-DDoS / NELL dumps are not available in
+this offline environment, so each dataset is replaced by a synthetic
+generator that preserves its *modality* (what the three modes mean), its
+blocky latent structure, and the relative ordering of sizes — scaled down so
+a single core finishes (DESIGN.md §3, substitution 2).  Paper-scale shapes
+are recorded alongside for the Table III reproduction; they are quoted
+approximately because the source table in our copy is partially garbled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..tensor import SparseBoolTensor
+from .synthetic import blocky_tensor
+
+__all__ = ["DatasetSpec", "REGISTRY", "load_dataset", "list_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table III dataset: paper-scale metadata plus our generator."""
+
+    name: str
+    modes: str
+    paper_shape: str
+    paper_nnz: str
+    shape: tuple[int, int, int]
+    build: Callable[[int], SparseBoolTensor]
+    default_rank: int = 10
+
+    def generate(self, seed: int = 0) -> SparseBoolTensor:
+        return self.build(seed)
+
+
+def _facebook(seed: int) -> SparseBoolTensor:
+    """Temporal friendship activity: communities active over time windows."""
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(96, 96, 16),
+        n_blocks=12,
+        block_dims=((6, 14), (6, 14), (2, 6)),
+        rng=rng,
+        block_fill=0.9,
+        noise_density=0.0005,
+    )
+
+
+def _dblp(seed: int) -> SparseBoolTensor:
+    """Publication records: author groups at few venues over year ranges."""
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(512, 32, 24),
+        n_blocks=40,
+        block_dims=((8, 24), (1, 3), (3, 10)),
+        rng=rng,
+        block_fill=0.7,
+        noise_density=0.0005,
+    )
+
+
+def _ddos_small(seed: int) -> SparseBoolTensor:
+    """Attack traffic: many sources hitting few destinations in bursts."""
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(128, 128, 64),
+        n_blocks=8,
+        block_dims=((24, 60), (2, 5), (8, 20)),
+        rng=rng,
+        block_fill=0.95,
+        noise_density=0.001,
+    )
+
+
+def _ddos_large(seed: int) -> SparseBoolTensor:
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(160, 160, 128),
+        n_blocks=14,
+        block_dims=((30, 80), (2, 6), (12, 32)),
+        rng=rng,
+        block_fill=0.95,
+        noise_density=0.001,
+    )
+
+
+def _nell_small(seed: int) -> SparseBoolTensor:
+    """Knowledge-base triples: concept blocks of subjects x objects x relations."""
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(192, 192, 24),
+        n_blocks=24,
+        block_dims=((6, 18), (6, 18), (1, 4)),
+        rng=rng,
+        block_fill=0.8,
+        noise_density=0.0008,
+    )
+
+
+def _nell_large(seed: int) -> SparseBoolTensor:
+    rng = np.random.default_rng(seed)
+    return blocky_tensor(
+        shape=(320, 320, 32),
+        n_blocks=40,
+        block_dims=((8, 24), (8, 24), (1, 5)),
+        rng=rng,
+        block_fill=0.8,
+        noise_density=0.0008,
+    )
+
+
+REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="facebook",
+            modes="user x user x time",
+            paper_shape="~64K x 64K x 870",
+            paper_nnz="~1.5M",
+            shape=(96, 96, 16),
+            build=_facebook,
+        ),
+        DatasetSpec(
+            name="dblp",
+            modes="author x venue x year",
+            paper_shape="~418K x 3.5K x 50",
+            paper_nnz="~1.3M",
+            shape=(512, 32, 24),
+            build=_dblp,
+        ),
+        DatasetSpec(
+            name="ddos-s",
+            modes="source IP x destination IP x time",
+            paper_shape="~9K x 9K x 4K",
+            paper_nnz="~22M",
+            shape=(128, 128, 64),
+            build=_ddos_small,
+        ),
+        DatasetSpec(
+            name="ddos-l",
+            modes="source IP x destination IP x time",
+            paper_shape="~9K x 9K x 393K",
+            paper_nnz="~331M",
+            shape=(160, 160, 128),
+            build=_ddos_large,
+        ),
+        DatasetSpec(
+            name="nell-s",
+            modes="subject x object x relation",
+            paper_shape="~15K x 15K x 29K",
+            paper_nnz="~77M",
+            shape=(192, 192, 24),
+            build=_nell_small,
+        ),
+        DatasetSpec(
+            name="nell-l",
+            modes="subject x object x relation",
+            paper_shape="~112K x 112K x 213K",
+            paper_nnz="~18M (as printed; likely larger)",
+            shape=(320, 320, 32),
+            build=_nell_large,
+        ),
+    ]
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of the Table III stand-ins, in the paper's order."""
+    return list(REGISTRY)
+
+
+def load_dataset(name: str, seed: int = 0) -> SparseBoolTensor:
+    """Generate a Table III stand-in by name."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(REGISTRY)}"
+        )
+    return REGISTRY[name].generate(seed)

@@ -1,0 +1,120 @@
+"""Synthetic workload generators (paper Sec. IV-A.1).
+
+Two families, exactly as the paper describes:
+
+* **scalability tensors** — uniform random Boolean tensors, swept over
+  dimensionality (``I = J = K = 2**e``) and density at fixed rank;
+* **error tensors** — noise-free tensors built from random factor matrices,
+  perturbed with additive and/or destructive noise, swept over factor
+  density, rank, and the two noise levels.
+
+Plus :func:`blocky_tensor`, the building block for the Table III real-world
+stand-ins in :mod:`repro.datasets.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitops import BitMatrix
+from ..tensor import SparseBoolTensor, planted_tensor, random_tensor
+
+__all__ = [
+    "scalability_tensor",
+    "ErrorTensorSpec",
+    "error_tensor",
+    "blocky_tensor",
+]
+
+
+def scalability_tensor(
+    scale_exponent: int, density: float, seed: int = 0
+) -> SparseBoolTensor:
+    """A uniform random cube of side ``2**scale_exponent`` (paper Fig. 1)."""
+    if scale_exponent < 1:
+        raise ValueError(f"scale_exponent must be >= 1, got {scale_exponent}")
+    side = 2**scale_exponent
+    return random_tensor((side, side, side), density, np.random.default_rng(seed))
+
+
+@dataclass(frozen=True)
+class ErrorTensorSpec:
+    """Parameters of a reconstruction-error tensor (paper Sec. IV-D).
+
+    Defaults follow the paper's fixed values: when one aspect is swept, the
+    others stay at these settings.
+    """
+
+    shape: tuple[int, int, int] = (64, 64, 64)
+    rank: int = 10
+    factor_density: float = 0.1
+    additive_noise: float = 0.10
+    destructive_noise: float = 0.05
+    seed: int = 0
+
+
+def error_tensor(
+    spec: ErrorTensorSpec,
+) -> tuple[SparseBoolTensor, tuple[BitMatrix, BitMatrix, BitMatrix]]:
+    """A noisy planted tensor plus its noise-free ground-truth factors."""
+    rng = np.random.default_rng(spec.seed)
+    return planted_tensor(
+        spec.shape,
+        rank=spec.rank,
+        factor_density=spec.factor_density,
+        rng=rng,
+        additive_noise=spec.additive_noise,
+        destructive_noise=spec.destructive_noise,
+    )
+
+
+def blocky_tensor(
+    shape: tuple[int, int, int],
+    n_blocks: int,
+    block_dims: tuple[tuple[int, int], tuple[int, int], tuple[int, int]],
+    rng: np.random.Generator,
+    block_fill: float = 1.0,
+    noise_density: float = 0.0,
+) -> SparseBoolTensor:
+    """A union of random dense blocks plus uniform background noise.
+
+    Each block picks, per mode, a contiguous-free random index set whose
+    size is drawn from the given ``(low, high)`` range; ``block_fill`` < 1
+    thins the block's cells.  This is the generator behind every real-world
+    stand-in: communities-over-time, attack slabs, knowledge-base concepts
+    are all "dense blocks in a sparse tensor".
+    """
+    if n_blocks < 0:
+        raise ValueError(f"n_blocks must be non-negative, got {n_blocks}")
+    if not 0.0 < block_fill <= 1.0:
+        raise ValueError(f"block_fill must be in (0, 1], got {block_fill}")
+    pieces = []
+    for _ in range(n_blocks):
+        index_sets = []
+        for mode in range(3):
+            low, high = block_dims[mode]
+            if not 1 <= low <= high <= shape[mode]:
+                raise ValueError(
+                    f"block dims {block_dims[mode]} invalid for mode size "
+                    f"{shape[mode]}"
+                )
+            size = int(rng.integers(low, high + 1))
+            index_sets.append(rng.choice(shape[mode], size=size, replace=False))
+        grid = np.meshgrid(*index_sets, indexing="ij")
+        cells = np.stack([axis.ravel() for axis in grid], axis=1)
+        if block_fill < 1.0:
+            keep = rng.random(cells.shape[0]) < block_fill
+            cells = cells[keep]
+        pieces.append(cells)
+    coords = (
+        np.concatenate(pieces, axis=0)
+        if pieces
+        else np.zeros((0, 3), dtype=np.int64)
+    )
+    tensor = SparseBoolTensor(shape, coords)
+    if noise_density > 0.0:
+        noise = random_tensor(shape, noise_density, rng)
+        tensor = tensor.boolean_or(noise)
+    return tensor

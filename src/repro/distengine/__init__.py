@@ -1,0 +1,27 @@
+"""Simulated distributed engine (the offline Spark stand-in)."""
+
+from .broadcast import Broadcast
+from .cluster import DEFAULT_CLUSTER, ClusterConfig
+from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
+from .rdd import Distributed
+from .runtime import ExecutionReport, SimulatedRuntime, StageReport
+from .scheduler import assign_tasks, makespan
+from .shuffle import ShuffleLedger, TransferKind, estimate_bytes
+
+__all__ = [
+    "Broadcast",
+    "FaultInjector",
+    "InjectedTaskFailure",
+    "TaskFailedError",
+    "ClusterConfig",
+    "DEFAULT_CLUSTER",
+    "Distributed",
+    "SimulatedRuntime",
+    "StageReport",
+    "ExecutionReport",
+    "ShuffleLedger",
+    "TransferKind",
+    "estimate_bytes",
+    "makespan",
+    "assign_tasks",
+]

@@ -1,0 +1,29 @@
+"""Broadcast variables for the simulated distributed engine.
+
+Mirrors Spark broadcasts: the driver ships one read-only copy of a value to
+every machine.  DBTF broadcasts the three factor matrices each iteration
+(paper Sec. III-E); the engine charges ``size × n_machines`` bytes of
+network traffic for each broadcast when replaying the cost model.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Broadcast"]
+
+
+class Broadcast:
+    """A read-only value shipped to every worker."""
+
+    __slots__ = ("_value", "name", "n_bytes")
+
+    def __init__(self, value: object, name: str, n_bytes: int):
+        self._value = value
+        self.name = name
+        self.n_bytes = n_bytes
+
+    @property
+    def value(self) -> object:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Broadcast({self.name!r}, {self.n_bytes} bytes)"

@@ -1,0 +1,78 @@
+"""Cluster model for the simulated distributed engine.
+
+The paper runs DBTF on Spark over a driver plus 16 workers, each with 8
+usable cores (Sec. IV-A.2).  Offline we cannot run Spark, so the engine
+executes partition tasks sequentially *while measuring them*, and this module
+holds the cost-model parameters used to replay those measurements under any
+cluster size (see :mod:`repro.distengine.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "DEFAULT_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the simulated cluster.
+
+    Attributes
+    ----------
+    n_machines:
+        Worker (executor) count.  The paper's cluster has 16.
+    cores_per_machine:
+        Concurrent tasks per worker.  The paper uses 8 cores per executor.
+    network_bytes_per_sec:
+        Effective point-to-point bandwidth used to convert recorded shuffle
+        and broadcast bytes into time.
+    task_launch_overhead_sec:
+        Fixed scheduling/serialization cost per task wave, modelling Spark's
+        task-dispatch latency.  This is what makes tiny tensors *slower*
+        distributed than single-machine, as the paper observes for the 2^6
+        tensor in Fig. 1(a).
+    driver_latency_sec:
+        Fixed driver-side cost per stage — job scheduling, collecting the
+        per-column errors, updating the column — which no amount of workers
+        parallelizes.  This serial fraction is why the paper's Fig. 7
+        speed-up is sublinear (2.2x from 4 to 16 machines).
+    """
+
+    n_machines: int = 16
+    cores_per_machine: int = 8
+    network_bytes_per_sec: float = 1.0e9
+    task_launch_overhead_sec: float = 0.004
+    driver_latency_sec: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.n_machines <= 0:
+            raise ValueError(f"n_machines must be positive, got {self.n_machines}")
+        if self.cores_per_machine <= 0:
+            raise ValueError(
+                f"cores_per_machine must be positive, got {self.cores_per_machine}"
+            )
+        if self.network_bytes_per_sec <= 0:
+            raise ValueError("network_bytes_per_sec must be positive")
+        if self.task_launch_overhead_sec < 0:
+            raise ValueError("task_launch_overhead_sec must be non-negative")
+        if self.driver_latency_sec < 0:
+            raise ValueError("driver_latency_sec must be non-negative")
+
+    @property
+    def total_slots(self) -> int:
+        """Number of tasks that can run concurrently across the cluster."""
+        return self.n_machines * self.cores_per_machine
+
+    def with_machines(self, n_machines: int) -> "ClusterConfig":
+        """The same cluster with a different machine count."""
+        return ClusterConfig(
+            n_machines=n_machines,
+            cores_per_machine=self.cores_per_machine,
+            network_bytes_per_sec=self.network_bytes_per_sec,
+            task_launch_overhead_sec=self.task_launch_overhead_sec,
+            driver_latency_sec=self.driver_latency_sec,
+        )
+
+
+DEFAULT_CLUSTER = ClusterConfig()

@@ -1,0 +1,61 @@
+"""Deterministic fault injection for the simulated engine.
+
+Spark re-executes failed tasks; a distributed algorithm's cost model should
+survive that.  :class:`FaultInjector` makes chosen task attempts fail
+deterministically (seeded hash of stage, partition, and attempt number), the
+engine re-runs them — charging the lost attempt's duration to the stage,
+like a real cluster would — and gives up with :class:`TaskFailedError` after
+``max_retries``.  Used by the failure-injection tests to check that DBTF's
+results are invariant under retries and that only its *cost* changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["FaultInjector", "TaskFailedError", "InjectedTaskFailure"]
+
+
+class InjectedTaskFailure(Exception):
+    """Raised inside a task attempt the injector decided should fail."""
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget."""
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic per-attempt failure decisions.
+
+    Attributes
+    ----------
+    failure_rate:
+        Probability in [0, 1) that any given attempt fails.  Derived from a
+        seeded hash, so a given (stage, partition, attempt) always behaves
+        the same way — runs are reproducible.
+    max_retries:
+        Re-executions allowed per task before :class:`TaskFailedError`.
+    seed:
+        Varies which attempts fail.
+    """
+
+    failure_rate: float = 0.1
+    max_retries: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def should_fail(self, stage: str, partition: int, attempt: int) -> bool:
+        """Deterministic failure decision for one task attempt."""
+        token = f"{self.seed}:{stage}:{partition}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.failure_rate

@@ -1,0 +1,209 @@
+"""A partitioned, Spark-like distributed collection.
+
+:class:`Distributed` is the engine's RDD analogue.  Transformations execute
+eagerly, one task per partition; each task is timed and reported to the
+owning runtime so a stage's duration can later be replayed under any cluster
+size.  Wide operations (``combine_by_key``) move data between partitions and
+charge the shuffle ledger, narrow ones (``map``/``map_partitions``) do not —
+the same distinction Spark draws.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from .faults import TaskFailedError
+from .shuffle import TransferKind, estimate_bytes
+
+__all__ = ["Distributed"]
+
+
+class Distributed:
+    """An eagerly evaluated, partitioned collection bound to a runtime."""
+
+    __slots__ = ("runtime", "partitions", "name")
+
+    def __init__(self, runtime, partitions: list[list[Any]], name: str = "rdd"):
+        self.runtime = runtime
+        self.partitions = [list(partition) for partition in partitions]
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def glom(self) -> list[list[Any]]:
+        """The partition structure as a list of lists (like Spark's glom)."""
+        return [list(partition) for partition in self.partitions]
+
+    def persist(self) -> "Distributed":
+        """No-op cache marker; data already lives in memory."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Narrow transformations (no shuffle)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Distributed":
+        return self.map_partitions(
+            lambda items: [fn(item) for item in items],
+            name=name or f"{self.name}.map",
+        )
+
+    def filter(
+        self, predicate: Callable[[Any], bool], name: str | None = None
+    ) -> "Distributed":
+        return self.map_partitions(
+            lambda items: [item for item in items if predicate(item)],
+            name=name or f"{self.name}.filter",
+        )
+
+    def map_partitions(
+        self,
+        fn: Callable[[list[Any]], Iterable[Any]],
+        name: str | None = None,
+    ) -> "Distributed":
+        return self.map_partitions_with_index(
+            lambda _index, items: fn(items), name=name or f"{self.name}.mapPartitions"
+        )
+
+    def map_partitions_with_index(
+        self,
+        fn: Callable[[int, list[Any]], Iterable[Any]],
+        name: str | None = None,
+    ) -> "Distributed":
+        """Apply ``fn(partition_index, items)`` to each partition, timed.
+
+        With a fault injector configured on the runtime, attempts chosen by
+        the injector fail after doing their work (the lost attempt's
+        duration still counts toward the stage, as on a real cluster) and
+        the task is retried up to the injector's budget.
+        """
+        stage_name = name or f"{self.name}.mapPartitionsWithIndex"
+        injector = getattr(self.runtime, "fault_injector", None)
+        new_partitions = []
+        durations = []
+        for index, items in enumerate(self.partitions):
+            task_time = 0.0
+            attempt = 0
+            while True:
+                started = time.perf_counter()
+                result = list(fn(index, items))
+                task_time += time.perf_counter() - started
+                failed = injector is not None and injector.should_fail(
+                    stage_name, index, attempt
+                )
+                if not failed:
+                    break
+                # The attempt's work is lost but its time was spent.
+                self.runtime.count_task_failure(stage_name)
+                attempt += 1
+                if attempt > injector.max_retries:
+                    raise TaskFailedError(
+                        f"task {index} of stage {stage_name!r} failed "
+                        f"{attempt} times"
+                    )
+            durations.append(task_time)
+            new_partitions.append(result)
+        self.runtime.record_stage(stage_name, durations)
+        return Distributed(self.runtime, new_partitions, name=stage_name)
+
+    # ------------------------------------------------------------------
+    # Wide transformation (shuffle)
+    # ------------------------------------------------------------------
+    def combine_by_key(
+        self,
+        create_combiner: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+        n_partitions: int | None = None,
+        name: str | None = None,
+    ) -> "Distributed":
+        """Group ``(key, value)`` elements by key, Spark's combineByKey.
+
+        Values are pre-combined inside each source partition (timed as the
+        map side), the partial combiners are hash-partitioned across the
+        network (charged to the shuffle ledger), then merged per target
+        partition (timed as the reduce side).
+        """
+        stage_name = name or f"{self.name}.combineByKey"
+        target_count = n_partitions or self.n_partitions or 1
+
+        map_durations = []
+        partial_maps: list[dict[Any, Any]] = []
+        for items in self.partitions:
+            started = time.perf_counter()
+            combiners: dict[Any, Any] = {}
+            for key, value in items:
+                if key in combiners:
+                    combiners[key] = merge_value(combiners[key], value)
+                else:
+                    combiners[key] = create_combiner(value)
+            map_durations.append(time.perf_counter() - started)
+            partial_maps.append(combiners)
+        self.runtime.record_stage(f"{stage_name}.map", map_durations)
+
+        shuffled_bytes = 0
+        buckets: list[dict[Any, Any]] = [{} for _ in range(target_count)]
+        reduce_durations = [0.0] * target_count
+        for combiners in partial_maps:
+            for key, combiner in combiners.items():
+                bucket_index = hash(key) % target_count
+                shuffled_bytes += estimate_bytes(key) + estimate_bytes(combiner)
+                bucket = buckets[bucket_index]
+                started = time.perf_counter()
+                if key in bucket:
+                    bucket[key] = merge_combiners(bucket[key], combiner)
+                else:
+                    bucket[key] = combiner
+                reduce_durations[bucket_index] += time.perf_counter() - started
+        self.runtime.ledger.record(TransferKind.SHUFFLE, stage_name, shuffled_bytes)
+        self.runtime.record_stage(f"{stage_name}.reduce", reduce_durations)
+
+        new_partitions = [list(bucket.items()) for bucket in buckets]
+        return Distributed(self.runtime, new_partitions, name=stage_name)
+
+    def reduce_by_key(
+        self,
+        fn: Callable[[Any, Any], Any],
+        n_partitions: int | None = None,
+        name: str | None = None,
+    ) -> "Distributed":
+        return self.combine_by_key(
+            create_combiner=lambda value: value,
+            merge_value=fn,
+            merge_combiners=fn,
+            n_partitions=n_partitions,
+            name=name or f"{self.name}.reduceByKey",
+        )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def collect(self, name: str | None = None) -> list[Any]:
+        """Pull every element to the driver; charged to the collect ledger."""
+        stage_name = name or f"{self.name}.collect"
+        flat = [item for partition in self.partitions for item in partition]
+        self.runtime.ledger.record(
+            TransferKind.COLLECT, stage_name, estimate_bytes(flat)
+        )
+        return flat
+
+    def count(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        items = self.collect(name=f"{self.name}.reduce")
+        if not items:
+            raise ValueError("reduce of an empty collection")
+        accumulator = items[0]
+        for item in items[1:]:
+            accumulator = fn(accumulator, item)
+        return accumulator
+
+    def __repr__(self) -> str:
+        return f"Distributed({self.name!r}, partitions={self.n_partitions})"

@@ -1,0 +1,50 @@
+"""Replay measured task durations under an arbitrary cluster size.
+
+The engine executes all partition tasks sequentially on the host (there is
+only one real core) but records each task's wall-clock duration.  This module
+answers "how long would that stage have taken on M machines?" with the
+classic longest-processing-time (LPT) greedy: sort tasks by decreasing
+duration and always hand the next task to the least-loaded slot.  LPT is a
+4/3-approximation of the optimal makespan, which is more than accurate enough
+to reproduce the paper's machine-scalability curve (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+__all__ = ["makespan", "assign_tasks"]
+
+
+def assign_tasks(durations: Sequence[float], n_slots: int) -> list[list[int]]:
+    """LPT assignment of task indices to ``n_slots`` parallel slots."""
+    if n_slots <= 0:
+        raise ValueError(f"n_slots must be positive, got {n_slots}")
+    if any(d < 0 for d in durations):
+        raise ValueError("task durations must be non-negative")
+    assignments: list[list[int]] = [[] for _ in range(n_slots)]
+    # Heap of (load, slot) so the least-loaded slot is always on top.
+    heap = [(0.0, slot) for slot in range(n_slots)]
+    heapq.heapify(heap)
+    order = sorted(range(len(durations)), key=lambda i: durations[i], reverse=True)
+    for index in order:
+        load, slot = heapq.heappop(heap)
+        assignments[slot].append(index)
+        heapq.heappush(heap, (load + durations[index], slot))
+    return assignments
+
+
+def makespan(durations: Sequence[float], n_slots: int) -> float:
+    """Completion time of the stage when run on ``n_slots`` parallel slots."""
+    if n_slots <= 0:
+        raise ValueError(f"n_slots must be positive, got {n_slots}")
+    if not durations:
+        return 0.0
+    if any(d < 0 for d in durations):
+        raise ValueError("task durations must be non-negative")
+    heap = [0.0] * n_slots
+    for duration in sorted(durations, reverse=True):
+        load = heapq.heappop(heap)
+        heapq.heappush(heap, load + duration)
+    return max(heap)

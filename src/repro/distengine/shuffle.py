@@ -1,0 +1,88 @@
+"""Shuffle accounting: how many bytes move across the simulated network.
+
+The paper analyses DBTF's shuffled-data volume (Lemmas 6-7): the unfolded
+tensors are shuffled once during partitioning, after which only factor-matrix
+broadcasts and per-column error collections cross the network.  The ledger
+records every transfer so the experiments can verify those bounds.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShuffleLedger", "estimate_bytes", "TransferKind"]
+
+
+class TransferKind:
+    """Categories of network transfer the ledger distinguishes."""
+
+    SHUFFLE = "shuffle"
+    BROADCAST = "broadcast"
+    COLLECT = "collect"
+
+    ALL = (SHUFFLE, BROADCAST, COLLECT)
+
+
+def estimate_bytes(obj: object) -> int:
+    """Approximate serialized size of a Python object, recursively.
+
+    Numpy buffers dominate DBTF's traffic, so those are exact; containers
+    add a small per-element overhead; everything else falls back to
+    ``sys.getsizeof``.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, dict):
+        return sum(estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items()) + 8
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(estimate_bytes(item) for item in obj) + 8
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    words = getattr(obj, "words", None)
+    if isinstance(words, np.ndarray):  # BitMatrix and friends
+        return int(words.nbytes)
+    return sys.getsizeof(obj)
+
+
+@dataclass
+class ShuffleLedger:
+    """Accumulates bytes moved over the simulated network, by kind and stage."""
+
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_stage: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, kind: str, stage: str, n_bytes: int) -> None:
+        if kind not in TransferKind.ALL:
+            raise ValueError(f"unknown transfer kind {kind!r}")
+        if n_bytes < 0:
+            raise ValueError(f"negative byte count {n_bytes}")
+        self.by_kind[kind] += n_bytes
+        self.by_stage[stage] += n_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.by_kind.values())
+
+    def bytes_of_kind(self, kind: str) -> int:
+        return self.by_kind.get(kind, 0)
+
+    def reset(self) -> None:
+        self.by_kind.clear()
+        self.by_stage.clear()
+
+    def summary(self) -> dict[str, int]:
+        """A plain-dict snapshot for reports."""
+        return {kind: self.by_kind.get(kind, 0) for kind in TransferKind.ALL}

@@ -1,0 +1,53 @@
+"""The paper's evaluation harness: one module per figure/table."""
+
+from .errors import (
+    compare_on_spec,
+    run_additive_noise_sweep,
+    run_destructive_noise_sweep,
+    run_factor_density_sweep,
+    run_rank_sweep,
+)
+from .figure1 import run_density, run_dimensionality, run_rank
+from .lemmas import run_traffic_vs_iterations, run_traffic_vs_partitions
+from .plotting import ascii_bar_chart
+from .figure6 import run_realworld
+from .figure7 import run_machine_scalability
+from .runner import (
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_OOT,
+    MethodOutcome,
+    ResultTable,
+    call_with_timeout,
+    run_bcp_als,
+    run_dbtf,
+    run_walk_n_merge,
+)
+from .tables import table1, table3
+
+__all__ = [
+    "run_dimensionality",
+    "run_density",
+    "run_rank",
+    "run_realworld",
+    "run_machine_scalability",
+    "run_traffic_vs_iterations",
+    "run_traffic_vs_partitions",
+    "ascii_bar_chart",
+    "run_factor_density_sweep",
+    "run_rank_sweep",
+    "run_additive_noise_sweep",
+    "run_destructive_noise_sweep",
+    "compare_on_spec",
+    "table1",
+    "table3",
+    "ResultTable",
+    "MethodOutcome",
+    "call_with_timeout",
+    "run_dbtf",
+    "run_bcp_als",
+    "run_walk_n_merge",
+    "STATUS_OK",
+    "STATUS_OOT",
+    "STATUS_OOM",
+]

@@ -1,0 +1,100 @@
+"""Figure 1: data scalability of DBTF vs. BCP_ALS vs. Walk'n'Merge.
+
+Three sweeps over synthetic random tensors (paper Sec. IV-B.1):
+
+* **(a) dimensionality** — ``I = J = K`` grows geometrically at fixed
+  density 0.01 and rank 10 (paper: 2^6..2^13; ours: 2^4..2^8, scaled);
+* **(b) density** — 0.01..0.3 at fixed side 2^6 (paper 2^8) and rank 10;
+* **(c) rank** — 10..60 at fixed side 2^6 (paper 2^8) and density 0.05,
+  with the cache threshold V = 15 so large ranks exercise the group split.
+
+Each cell reports the method's time in seconds, or O.O.T./O.O.M. like the
+paper's plots mark failures.
+"""
+
+from __future__ import annotations
+
+from ..baselines import WalkNMergeConfig
+from ..datasets import scalability_tensor
+from .runner import ResultTable, run_bcp_als, run_dbtf, run_walk_n_merge
+
+__all__ = ["run_dimensionality", "run_density", "run_rank"]
+
+_METHOD_HEADERS = ["DBTF (s)", "Walk'n'Merge (s)", "BCP_ALS (s)"]
+
+
+def _compare_methods(tensor, rank, timeout_sec, seed, wnm_threshold=0.5):
+    """Run the three methods on one tensor; random tensors have no planted
+    blocks, so Walk'n'Merge gets a permissive density threshold (its runtime
+    is what the figure measures)."""
+    dbtf_outcome = run_dbtf(
+        tensor, rank, timeout_sec=timeout_sec, seed=seed, n_partitions=16
+    )
+    wnm_outcome = run_walk_n_merge(
+        tensor,
+        rank,
+        timeout_sec=timeout_sec,
+        config=WalkNMergeConfig(density_threshold=wnm_threshold, seed=seed),
+    )
+    bcp_outcome = run_bcp_als(tensor, rank, timeout_sec=timeout_sec)
+    return dbtf_outcome, wnm_outcome, bcp_outcome
+
+
+def run_dimensionality(
+    exponents: tuple[int, ...] = (4, 5, 6, 7, 8, 9),
+    density: float = 0.01,
+    rank: int = 10,
+    timeout_sec: float = 60.0,
+    seed: int = 0,
+) -> ResultTable:
+    """Figure 1(a): runtime vs. tensor dimensionality."""
+    table = ResultTable(
+        "Figure 1(a) — runtime vs dimensionality "
+        f"(density={density}, rank={rank})",
+        ["I=J=K"] + _METHOD_HEADERS,
+    )
+    for exponent in exponents:
+        tensor = scalability_tensor(exponent, density, seed=seed)
+        outcomes = _compare_methods(tensor, rank, timeout_sec, seed)
+        table.add_row(
+            f"2^{exponent}", *(outcome.time_label() for outcome in outcomes)
+        )
+    return table
+
+
+def run_density(
+    densities: tuple[float, ...] = (0.01, 0.05, 0.1, 0.2, 0.3),
+    exponent: int = 6,
+    rank: int = 10,
+    timeout_sec: float = 60.0,
+    seed: int = 0,
+) -> ResultTable:
+    """Figure 1(b): runtime vs. tensor density."""
+    table = ResultTable(
+        f"Figure 1(b) — runtime vs density (I=J=K=2^{exponent}, rank={rank})",
+        ["density"] + _METHOD_HEADERS,
+    )
+    for density in densities:
+        tensor = scalability_tensor(exponent, density, seed=seed)
+        outcomes = _compare_methods(tensor, rank, timeout_sec, seed)
+        table.add_row(density, *(outcome.time_label() for outcome in outcomes))
+    return table
+
+
+def run_rank(
+    ranks: tuple[int, ...] = (10, 20, 30, 40, 50, 60),
+    exponent: int = 6,
+    density: float = 0.05,
+    timeout_sec: float = 60.0,
+    seed: int = 0,
+) -> ResultTable:
+    """Figure 1(c): runtime vs. rank (V = 15, so ranks > 15 split tables)."""
+    table = ResultTable(
+        f"Figure 1(c) — runtime vs rank (I=J=K=2^{exponent}, density={density})",
+        ["rank"] + _METHOD_HEADERS,
+    )
+    tensor = scalability_tensor(exponent, density, seed=seed)
+    for rank in ranks:
+        outcomes = _compare_methods(tensor, rank, timeout_sec, seed)
+        table.add_row(rank, *(outcome.time_label() for outcome in outcomes))
+    return table

@@ -1,0 +1,104 @@
+"""Terminal rendering of experiment series as bar charts.
+
+The paper's Figure 1 and Figure 6 are log-scale bar charts of runtimes per
+method.  ``ascii_bar_chart`` renders a :class:`ResultTable` the same way so
+`python -m repro experiment fig1a --chart` (and the examples) can show the
+*shape* of a result — who wins, by how much, where methods fall over —
+without leaving the terminal.  O.O.T./O.O.M. cells render as annotations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .runner import ResultTable
+
+__all__ = ["ascii_bar_chart"]
+
+_BAR_CHARACTER = "█"
+
+
+def _parse_cell(cell: str) -> float | None:
+    """A cell's numeric value, or None for failure markers like O.O.T."""
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def ascii_bar_chart(
+    table: ResultTable,
+    value_columns: list[str] | None = None,
+    label_column: str | None = None,
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """Render selected numeric columns of a table as horizontal bars.
+
+    Parameters
+    ----------
+    table:
+        The experiment table to render.
+    value_columns:
+        Columns holding the bar values; defaults to every column after the
+        first.  Non-numeric cells (``O.O.T.``, ``O.O.M.``) render as text.
+    label_column:
+        The column labelling each group; defaults to the first.
+    width:
+        Maximum bar width in characters.
+    log_scale:
+        Scale bars by log10 (the paper's plots are log-scale); values are
+        shifted so the smallest positive value still gets a visible bar.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    label_column = label_column or table.headers[0]
+    value_columns = value_columns or table.headers[1:]
+    for header in [label_column, *value_columns]:
+        if header not in table.headers:
+            raise ValueError(f"unknown column {header!r}")
+
+    values = []
+    for column in value_columns:
+        values.extend(
+            parsed
+            for parsed in (_parse_cell(cell) for cell in table.column(column))
+            if parsed is not None and parsed > 0
+        )
+    if values:
+        low = min(values)
+        high = max(values)
+    else:
+        low = high = 1.0
+
+    def bar_length(value: float) -> int:
+        if value <= 0:
+            return 1
+        if not log_scale:
+            return max(1, round(width * value / high))
+        if high == low:
+            return width
+        position = (math.log10(value) - math.log10(low)) / (
+            math.log10(high) - math.log10(low)
+        )
+        return max(1, round(1 + position * (width - 1)))
+
+    label_width = max(
+        (len(name) for name in value_columns), default=0
+    )
+    lines = [table.title, "=" * len(table.title)]
+    labels = table.column(label_column)
+    for row_index, group in enumerate(labels):
+        lines.append(f"{group}:")
+        for column in value_columns:
+            cell = table.rows[row_index][table.headers.index(column)]
+            parsed = _parse_cell(cell)
+            name = column.ljust(label_width)
+            if parsed is None:
+                lines.append(f"  {name}  {cell}")
+            else:
+                bar = _BAR_CHARACTER * bar_length(parsed)
+                lines.append(f"  {name}  {bar} {cell}")
+    if log_scale and values:
+        lines.append(f"(log scale, {low:g} .. {high:g})")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Evaluation metrics."""
+
+from .error import (
+    coverage_stats,
+    fast_reconstruction_error,
+    reconstruction_error,
+    relative_reconstruction_error,
+)
+from .factors import component_support, factor_match_score, jaccard
+from .sampling import ErrorEstimate, estimate_reconstruction_error
+from .mdl import (
+    RankSelection,
+    description_length,
+    factors_code_length,
+    log2_binomial,
+    select_rank,
+    vector_code_length,
+)
+
+__all__ = [
+    "description_length",
+    "factors_code_length",
+    "vector_code_length",
+    "log2_binomial",
+    "select_rank",
+    "RankSelection",
+    "estimate_reconstruction_error",
+    "ErrorEstimate",
+    "reconstruction_error",
+    "relative_reconstruction_error",
+    "fast_reconstruction_error",
+    "coverage_stats",
+    "factor_match_score",
+    "component_support",
+    "jaccard",
+]

@@ -1,0 +1,69 @@
+"""Factor-recovery metrics: how close are estimated factors to planted ones?
+
+Boolean CP factors are identifiable only up to component permutation, so the
+score greedily matches estimated components to planted components by the
+Jaccard similarity of their rank-1 supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitops import BitMatrix
+
+__all__ = ["component_support", "jaccard", "factor_match_score"]
+
+Factors = tuple[BitMatrix, BitMatrix, BitMatrix]
+
+
+def component_support(factors: Factors, component: int) -> tuple[np.ndarray, ...]:
+    """The three index sets of one rank-1 component."""
+    return tuple(
+        np.flatnonzero(factor.column(component)) for factor in factors
+    )
+
+
+def jaccard(left: tuple[np.ndarray, ...], right: tuple[np.ndarray, ...]) -> float:
+    """Jaccard similarity of two rank-1 blocks, computed per mode and
+    multiplied (the blocks are Cartesian products, so cell-level Jaccard of
+    disjoint-ish supports factorizes approximately; the per-mode product is
+    the standard cheap surrogate)."""
+    score = 1.0
+    for left_set, right_set in zip(left, right):
+        union = np.union1d(left_set, right_set).size
+        if union == 0:
+            continue  # both empty in this mode: no information
+        intersection = np.intersect1d(left_set, right_set).size
+        score *= intersection / union
+    return score
+
+
+def factor_match_score(estimated: Factors, planted: Factors) -> float:
+    """Mean best-match Jaccard between estimated and planted components.
+
+    Components are matched greedily (highest similarity first, without
+    replacement).  1.0 means every planted component was recovered exactly;
+    0.0 means no overlap at all.
+    """
+    rank_estimated = estimated[0].n_cols
+    rank_planted = planted[0].n_cols
+    if rank_planted == 0:
+        return 1.0
+    similarities = np.zeros((rank_estimated, rank_planted))
+    for e in range(rank_estimated):
+        left = component_support(estimated, e)
+        for p in range(rank_planted):
+            similarities[e, p] = jaccard(left, component_support(planted, p))
+    total = 0.0
+    available_e = set(range(rank_estimated))
+    available_p = set(range(rank_planted))
+    while available_e and available_p:
+        best = max(
+            ((similarities[e, p], e, p) for e in available_e for p in available_p),
+            key=lambda item: item[0],
+        )
+        score, e, p = best
+        total += score
+        available_e.remove(e)
+        available_p.remove(p)
+    return total / rank_planted

@@ -1,0 +1,5 @@
+"""N-way Boolean CP decomposition (general-order extension)."""
+
+from .cp import NwayCpConfig, NwayCpResult, cp_nway, nway_reconstruct
+
+__all__ = ["cp_nway", "nway_reconstruct", "NwayCpConfig", "NwayCpResult"]

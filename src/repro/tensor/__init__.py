@@ -1,0 +1,52 @@
+"""Boolean tensor data structures and algebra."""
+
+from .algebra import (
+    outer_product,
+    rank_one_coords,
+    reconstruct_dense,
+    tensor_from_factors,
+    validate_factors,
+)
+from .io import (
+    load_factors,
+    load_matrix,
+    load_tensor,
+    save_factors,
+    save_matrix,
+    save_tensor,
+)
+from .matricize import MODE_FACTOR_ROLES, Unfolding, fold, unfold
+from .packed import PackedUnfolding
+from .random import (
+    add_additive_noise,
+    add_destructive_noise,
+    planted_tensor,
+    random_factors,
+    random_tensor,
+)
+from .sparse import SparseBoolTensor
+
+__all__ = [
+    "SparseBoolTensor",
+    "Unfolding",
+    "PackedUnfolding",
+    "MODE_FACTOR_ROLES",
+    "unfold",
+    "fold",
+    "outer_product",
+    "rank_one_coords",
+    "tensor_from_factors",
+    "reconstruct_dense",
+    "validate_factors",
+    "random_tensor",
+    "random_factors",
+    "planted_tensor",
+    "add_additive_noise",
+    "add_destructive_noise",
+    "save_tensor",
+    "load_tensor",
+    "save_matrix",
+    "load_matrix",
+    "save_factors",
+    "load_factors",
+]

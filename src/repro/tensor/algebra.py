@@ -1,0 +1,81 @@
+"""Boolean tensor algebra: outer products and reconstruction from factors.
+
+Implements Definitions 3-4 of the paper: a rank-R Boolean CP decomposition
+represents a tensor as the Boolean sum of R rank-1 tensors
+``a_r ∘ b_r ∘ c_r`` built from the columns of binary factor matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitops import BitMatrix
+from .sparse import SparseBoolTensor
+
+__all__ = [
+    "outer_product",
+    "rank_one_coords",
+    "tensor_from_factors",
+    "reconstruct_dense",
+    "validate_factors",
+]
+
+
+def outer_product(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> SparseBoolTensor:
+    """The rank-1 Boolean tensor ``a ∘ b ∘ c`` from three 0/1 vectors."""
+    a = np.asarray(a).astype(bool)
+    b = np.asarray(b).astype(bool)
+    c = np.asarray(c).astype(bool)
+    coords = rank_one_coords(a, b, c)
+    return SparseBoolTensor((a.shape[0], b.shape[0], c.shape[0]), coords)
+
+
+def rank_one_coords(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Nonzero coordinates of ``a ∘ b ∘ c`` as an (nnz, 3) array."""
+    ai = np.flatnonzero(a)
+    bj = np.flatnonzero(b)
+    ck = np.flatnonzero(c)
+    if ai.size == 0 or bj.size == 0 or ck.size == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    grid = np.meshgrid(ai, bj, ck, indexing="ij")
+    return np.stack([axis.ravel() for axis in grid], axis=1).astype(np.int64)
+
+
+def validate_factors(factors: tuple[BitMatrix, BitMatrix, BitMatrix]) -> int:
+    """Check the three factors share a rank; return that rank."""
+    ranks = {factor.n_cols for factor in factors}
+    if len(ranks) != 1:
+        raise ValueError(
+            f"factor matrices disagree on rank: {[f.shape for f in factors]}"
+        )
+    return ranks.pop()
+
+
+def tensor_from_factors(
+    factors: tuple[BitMatrix, BitMatrix, BitMatrix]
+) -> SparseBoolTensor:
+    """Boolean sum of the R rank-1 tensors defined by factor columns (Eq. 10)."""
+    a_matrix, b_matrix, c_matrix = factors
+    rank = validate_factors(factors)
+    shape = (a_matrix.n_rows, b_matrix.n_rows, c_matrix.n_rows)
+    pieces = [
+        rank_one_coords(a_matrix.column(r), b_matrix.column(r), c_matrix.column(r))
+        for r in range(rank)
+    ]
+    if not pieces:
+        return SparseBoolTensor(shape)
+    return SparseBoolTensor(shape, np.concatenate(pieces, axis=0))
+
+
+def reconstruct_dense(
+    factors: tuple[BitMatrix, BitMatrix, BitMatrix]
+) -> np.ndarray:
+    """Dense 0/1 reconstruction — for small tensors and test oracles only."""
+    a_matrix, b_matrix, c_matrix = factors
+    validate_factors(factors)
+    a_dense = a_matrix.to_dense().astype(np.int32)
+    b_dense = b_matrix.to_dense().astype(np.int32)
+    c_dense = c_matrix.to_dense().astype(np.int32)
+    # Count how many rank-1 components cover each cell; Boolean OR is > 0.
+    counts = np.einsum("ir,jr,kr->ijk", a_dense, b_dense, c_dense)
+    return (counts > 0).astype(np.uint8)

@@ -1,0 +1,115 @@
+"""Plain-text I/O for sparse Boolean tensors and binary factor matrices.
+
+The tensor format mirrors the coordinate files the paper's released
+datasets use: a header line ``# shape I J K`` followed by one
+whitespace-separated coordinate triple per nonzero.  Factor matrices use
+the same format with a ``# matrix N R`` header and (row, column) pairs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..bitops import BitMatrix
+from .sparse import SparseBoolTensor
+
+__all__ = [
+    "save_tensor",
+    "load_tensor",
+    "save_matrix",
+    "load_matrix",
+    "save_factors",
+    "load_factors",
+]
+
+_FACTOR_FILES = ("A.mtx", "B.mtx", "C.mtx")
+
+_HEADER_PREFIX = "# shape"
+_MATRIX_HEADER_PREFIX = "# matrix"
+
+
+def save_tensor(tensor: SparseBoolTensor, path: str | os.PathLike) -> None:
+    """Write a tensor to a coordinate-list text file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{_HEADER_PREFIX} {' '.join(str(s) for s in tensor.shape)}\n")
+        for coordinate in tensor.coords:
+            handle.write(" ".join(str(int(c)) for c in coordinate) + "\n")
+
+
+def load_tensor(path: str | os.PathLike) -> SparseBoolTensor:
+    """Read a tensor written by :func:`save_tensor`."""
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(
+                f"{path}: missing '{_HEADER_PREFIX}' header, got {header!r}"
+            )
+        shape = tuple(int(token) for token in header[len(_HEADER_PREFIX) :].split())
+        coords = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != len(shape):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(shape)} indices, "
+                    f"got {len(parts)}"
+                )
+            coords.append([int(part) for part in parts])
+    coord_array = np.asarray(coords, dtype=np.int64).reshape(-1, len(shape))
+    return SparseBoolTensor(shape, coord_array)
+
+
+def save_matrix(matrix: BitMatrix, path: str | os.PathLike) -> None:
+    """Write a binary factor matrix as sparse (row, column) pairs."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{_MATRIX_HEADER_PREFIX} {matrix.n_rows} {matrix.n_cols}\n")
+        dense = matrix.to_dense()
+        for row, col in np.argwhere(dense):
+            handle.write(f"{row} {col}\n")
+
+
+def load_matrix(path: str | os.PathLike) -> BitMatrix:
+    """Read a factor matrix written by :func:`save_matrix`."""
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline().strip()
+        if not header.startswith(_MATRIX_HEADER_PREFIX):
+            raise ValueError(
+                f"{path}: missing '{_MATRIX_HEADER_PREFIX}' header, got {header!r}"
+            )
+        n_rows, n_cols = (
+            int(token) for token in header[len(_MATRIX_HEADER_PREFIX) :].split()
+        )
+        dense = np.zeros((n_rows, n_cols), dtype=np.uint8)
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'row col', got {line!r}"
+                )
+            dense[int(parts[0]), int(parts[1])] = 1
+    return BitMatrix.from_dense(dense)
+
+
+def save_factors(
+    factors: tuple[BitMatrix, BitMatrix, BitMatrix], directory: str | os.PathLike
+) -> None:
+    """Write a CP factor triple as ``A.mtx``/``B.mtx``/``C.mtx``."""
+    os.makedirs(directory, exist_ok=True)
+    for filename, factor in zip(_FACTOR_FILES, factors):
+        save_matrix(factor, os.path.join(directory, filename))
+
+
+def load_factors(
+    directory: str | os.PathLike,
+) -> tuple[BitMatrix, BitMatrix, BitMatrix]:
+    """Read a factor triple written by :func:`save_factors`."""
+    return tuple(
+        load_matrix(os.path.join(directory, filename)) for filename in _FACTOR_FILES
+    )

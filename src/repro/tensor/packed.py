@@ -1,0 +1,73 @@
+"""Dense bit-packed storage for mode-n unfoldings.
+
+DBTF's inner loop XORs reconstructed rows against unfolded-tensor rows block
+by block (paper Fig. 3).  :class:`PackedUnfolding` lays the unfolding out as
+a ``(n_rows, block_count, n_words)`` uint64 array aligned to the pointwise
+vector-matrix (PVM) block boundaries, so a block of a row is one contiguous
+word slice and the error kernel is pure vectorized XOR + popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitops import packing
+from .matricize import Unfolding
+
+__all__ = ["PackedUnfolding"]
+
+
+class PackedUnfolding:
+    """A mode-n unfolding packed along the within-block (inner) axis."""
+
+    __slots__ = ("mode", "n_rows", "block_count", "block_width", "n_words", "words")
+
+    def __init__(self, unfolding: Unfolding):
+        self.mode = unfolding.mode
+        self.n_rows = unfolding.n_rows
+        self.block_count = unfolding.block_count
+        self.block_width = unfolding.block_width
+        self.n_words = packing.words_for_bits(unfolding.block_width)
+        self.words = np.zeros(
+            (self.n_rows, self.block_count, self.n_words), dtype=np.uint64
+        )
+        if unfolding.nnz:
+            word_index = unfolding.offsets // packing.WORD_BITS
+            bit_offset = unfolding.offsets % packing.WORD_BITS
+            flat = self.words.reshape(-1)
+            linear = (
+                unfolding.rows * self.block_count + unfolding.block_ids
+            ) * self.n_words + word_index
+            np.bitwise_or.at(
+                flat, linear, np.uint64(1) << bit_offset.astype(np.uint64)
+            )
+
+    @property
+    def n_cols(self) -> int:
+        return self.block_count * self.block_width
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    def nnz(self) -> int:
+        return packing.popcount(self.words)
+
+    def row_block(self, row: int, block: int) -> np.ndarray:
+        """Packed words of one PVM block of one row."""
+        return self.words[row, block]
+
+    def block_slice(self, blocks: slice) -> np.ndarray:
+        """A view over a contiguous range of blocks, all rows."""
+        return self.words[:, blocks]
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack back to a dense 0/1 matrix of shape (n_rows, n_cols)."""
+        bits = packing.unpack_bits(self.words, self.block_width)
+        return bits.reshape(self.n_rows, self.n_cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedUnfolding(mode={self.mode}, rows={self.n_rows}, "
+            f"blocks={self.block_count}x{self.block_width})"
+        )

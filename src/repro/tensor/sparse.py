@@ -1,0 +1,187 @@
+"""Sparse Boolean tensors in coordinate (COO) form.
+
+A Boolean tensor is a set of nonzero coordinates; all set-algebraic
+operations (Boolean sum, difference, XOR) are set operations on coordinate
+rows.  The class is N-way, although the paper — and therefore the rest of
+this package — works with three-way tensors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["SparseBoolTensor"]
+
+
+def _canonical_coords(coords: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate, deduplicate, and lexicographically sort coordinate rows."""
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.size == 0:
+        return np.zeros((0, len(shape)), dtype=np.int64)
+    if coords.ndim != 2 or coords.shape[1] != len(shape):
+        raise ValueError(
+            f"coords must have shape (nnz, {len(shape)}), got {coords.shape}"
+        )
+    if (coords < 0).any():
+        raise ValueError("negative coordinates")
+    limits = np.asarray(shape, dtype=np.int64)
+    if (coords >= limits[None, :]).any():
+        raise ValueError(f"coordinates out of bounds for shape {shape}")
+    return np.unique(coords, axis=0)
+
+
+class SparseBoolTensor:
+    """An N-way Boolean tensor stored as sorted, deduplicated coordinates."""
+
+    __slots__ = ("shape", "coords")
+
+    def __init__(self, shape: tuple[int, ...], coords: np.ndarray | None = None):
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in shape {shape}")
+        if not shape:
+            raise ValueError("tensor must have at least one mode")
+        self.shape = shape
+        if coords is None:
+            coords = np.zeros((0, len(shape)), dtype=np.int64)
+        self.coords = _canonical_coords(coords, shape)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, ...]) -> "SparseBoolTensor":
+        return cls(shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseBoolTensor":
+        dense = np.asarray(dense)
+        coords = np.argwhere(dense != 0)
+        return cls(dense.shape, coords)
+
+    @classmethod
+    def from_nonzeros(
+        cls, shape: tuple[int, ...], nonzeros: Iterable[tuple[int, ...]]
+    ) -> "SparseBoolTensor":
+        coords = np.array(list(nonzeros), dtype=np.int64).reshape(-1, len(shape))
+        return cls(shape, coords)
+
+    def copy(self) -> "SparseBoolTensor":
+        return SparseBoolTensor(self.shape, self.coords.copy())
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzero entries, |X| in the paper's notation."""
+        return self.coords.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        return int(np.prod(np.asarray(self.shape, dtype=np.int64)))
+
+    def density(self) -> float:
+        return self.nnz / self.n_cells if self.n_cells else 0.0
+
+    def frobenius_norm(self) -> float:
+        """For a Boolean tensor the Frobenius norm is sqrt(|X|)."""
+        return float(np.sqrt(self.nnz))
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def _flat_indices(self, coords: np.ndarray | None = None) -> np.ndarray:
+        """Row-major flat index per coordinate row (used for set algebra)."""
+        if coords is None:
+            coords = self.coords
+        return np.ravel_multi_index(coords.T, self.shape)
+
+    def __contains__(self, coordinate: tuple[int, ...]) -> bool:
+        coordinate = tuple(int(c) for c in coordinate)
+        if len(coordinate) != self.ndim:
+            raise ValueError(f"expected {self.ndim} indices, got {len(coordinate)}")
+        if any(not 0 <= c < s for c, s in zip(coordinate, self.shape)):
+            raise IndexError(f"coordinate {coordinate} out of bounds for {self.shape}")
+        flat = np.ravel_multi_index(coordinate, self.shape)
+        flats = self._flat_indices()
+        position = np.searchsorted(flats, flat)
+        return bool(position < flats.shape[0] and flats[position] == flat)
+
+    # ------------------------------------------------------------------
+    # Set algebra (Boolean tensor operations)
+    # ------------------------------------------------------------------
+    def _check_same_shape(self, other: "SparseBoolTensor") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    def boolean_or(self, other: "SparseBoolTensor") -> "SparseBoolTensor":
+        """Boolean sum X ⊕ Y (Eq. 5)."""
+        self._check_same_shape(other)
+        coords = np.concatenate([self.coords, other.coords], axis=0)
+        return SparseBoolTensor(self.shape, coords)
+
+    def boolean_and(self, other: "SparseBoolTensor") -> "SparseBoolTensor":
+        self._check_same_shape(other)
+        mask = np.isin(self._flat_indices(), other._flat_indices(), assume_unique=True)
+        return SparseBoolTensor(self.shape, self.coords[mask])
+
+    def xor(self, other: "SparseBoolTensor") -> "SparseBoolTensor":
+        self._check_same_shape(other)
+        in_other = np.isin(self._flat_indices(), other._flat_indices(), assume_unique=True)
+        in_self = np.isin(other._flat_indices(), self._flat_indices(), assume_unique=True)
+        coords = np.concatenate([self.coords[~in_other], other.coords[~in_self]], axis=0)
+        return SparseBoolTensor(self.shape, coords)
+
+    def minus(self, other: "SparseBoolTensor") -> "SparseBoolTensor":
+        """Entries of self that are not in other."""
+        self._check_same_shape(other)
+        mask = np.isin(self._flat_indices(), other._flat_indices(), assume_unique=True)
+        return SparseBoolTensor(self.shape, self.coords[~mask])
+
+    def hamming_distance(self, other: "SparseBoolTensor") -> int:
+        """|X ⊕ Y| counting differing cells — the paper's error measure."""
+        return self.xor(other).nnz
+
+    # ------------------------------------------------------------------
+    # Conversion / inspection
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.uint8)
+        if self.nnz:
+            dense[tuple(self.coords.T)] = 1
+        return dense
+
+    def mode_slice(self, mode: int, index: int) -> "SparseBoolTensor":
+        """The sub-tensor with mode ``mode`` fixed at ``index`` (mode dropped)."""
+        if not 0 <= mode < self.ndim:
+            raise ValueError(f"mode {mode} out of range for {self.ndim}-way tensor")
+        if not 0 <= index < self.shape[mode]:
+            raise IndexError(f"index {index} out of bounds for mode {mode}")
+        keep = self.coords[:, mode] == index
+        remaining = [m for m in range(self.ndim) if m != mode]
+        new_shape = tuple(self.shape[m] for m in remaining)
+        return SparseBoolTensor(new_shape, self.coords[keep][:, remaining])
+
+    def mode_indices(self, mode: int) -> np.ndarray:
+        """Distinct indices along ``mode`` that carry at least one nonzero."""
+        if not 0 <= mode < self.ndim:
+            raise ValueError(f"mode {mode} out of range for {self.ndim}-way tensor")
+        return np.unique(self.coords[:, mode])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseBoolTensor):
+            return NotImplemented
+        return self.shape == other.shape and bool(np.array_equal(self.coords, other.coords))
+
+    def __hash__(self):
+        raise TypeError("SparseBoolTensor is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"SparseBoolTensor(shape={self.shape}, nnz={self.nnz})"

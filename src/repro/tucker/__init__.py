@@ -1,0 +1,18 @@
+"""Boolean Tucker decomposition (extension beyond the conference paper)."""
+
+from .decompose import (
+    BooleanTuckerConfig,
+    BooleanTuckerResult,
+    boolean_tucker,
+    tucker_reconstruct,
+)
+from .distributed import dbtf_tucker, update_tucker_factor
+
+__all__ = [
+    "boolean_tucker",
+    "dbtf_tucker",
+    "update_tucker_factor",
+    "tucker_reconstruct",
+    "BooleanTuckerConfig",
+    "BooleanTuckerResult",
+]

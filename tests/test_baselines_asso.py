@@ -1,0 +1,91 @@
+"""Unit tests for the ASSO Boolean matrix factorization."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix, boolean_matmul
+from repro.baselines import MemoryBudgetExceeded, asso, association_matrix
+
+
+class TestAssociationMatrix:
+    def test_perfect_implication(self):
+        # Column 0 implies column 1 (every 1 in col 0 has a 1 in col 1).
+        matrix = np.array([[1, 1], [1, 1], [0, 1]], dtype=np.uint8)
+        assoc = association_matrix(matrix)
+        assert assoc[0, 1] == pytest.approx(1.0)
+        assert assoc[1, 0] == pytest.approx(2 / 3)
+
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((6, 5)) < 0.5).astype(np.uint8)
+        matrix[:, 2] = [1, 0, 1, 0, 1, 0]  # make sure no column is empty
+        assoc = association_matrix(matrix)
+        nonempty = matrix.sum(axis=0) > 0
+        np.testing.assert_allclose(np.diag(assoc)[nonempty], 1.0)
+
+    def test_empty_column_implies_nothing(self):
+        matrix = np.array([[0, 1], [0, 1]], dtype=np.uint8)
+        assoc = association_matrix(matrix)
+        assert assoc[0, 1] == 0.0
+
+    def test_memory_budget_enforced(self):
+        matrix = np.zeros((2, 100), dtype=np.uint8)
+        with pytest.raises(MemoryBudgetExceeded):
+            association_matrix(matrix, memory_budget_bytes=100)
+
+
+class TestAsso:
+    def test_recovers_block_structure(self):
+        # A matrix that is exactly the Boolean product of rank-2 factors.
+        usage = np.array([[1, 0], [1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        basis = np.array([[1, 1, 0, 0, 0], [0, 0, 0, 1, 1]], dtype=np.uint8)
+        product = ((usage @ basis) > 0).astype(np.uint8)
+        matrix = BitMatrix.from_dense(product)
+        result = asso(matrix, rank=2, threshold=0.9)
+        reconstructed = boolean_matmul(result.usage, result.basis)
+        assert matrix.hamming_distance(reconstructed) == 0
+
+    def test_usage_shape(self):
+        rng = np.random.default_rng(1)
+        matrix = BitMatrix.random(10, 14, 0.3, rng)
+        result = asso(matrix, rank=3)
+        assert result.usage.shape == (10, 3)
+        assert result.basis.shape == (3, 14)
+
+    def test_never_worse_than_empty_factorization(self):
+        rng = np.random.default_rng(2)
+        matrix = BitMatrix.random(12, 12, 0.4, rng)
+        result = asso(matrix, rank=4)
+        reconstructed = boolean_matmul(result.usage, result.basis)
+        assert matrix.hamming_distance(reconstructed) <= matrix.count_nonzeros()
+
+    def test_empty_matrix_gives_empty_factors(self):
+        result = asso(BitMatrix.zeros(5, 5), rank=2)
+        assert result.usage.count_nonzeros() == 0
+        assert result.basis.count_nonzeros() == 0
+        assert result.score == 0.0
+
+    def test_score_positive_when_structure_found(self):
+        usage = np.array([[1], [1], [1]], dtype=np.uint8)
+        basis = np.array([[1, 1, 1]], dtype=np.uint8)
+        product = ((usage @ basis) > 0).astype(np.uint8)
+        result = asso(BitMatrix.from_dense(product), rank=1)
+        assert result.score > 0
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            asso(BitMatrix.zeros(2, 2), rank=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            asso(BitMatrix.zeros(2, 2), rank=1, threshold=0.0)
+
+    def test_weight_negative_discourages_overcover(self):
+        # With a huge penalty for covering zeros, ASSO must cover no zeros.
+        rng = np.random.default_rng(3)
+        matrix = BitMatrix.random(10, 10, 0.3, rng)
+        result = asso(matrix, rank=3, weight_negative=1000.0)
+        reconstructed = boolean_matmul(result.usage, result.basis)
+        dense = matrix.to_dense()
+        overcovered = (reconstructed.to_dense() == 1) & (dense == 0)
+        assert overcovered.sum() == 0

@@ -1,0 +1,43 @@
+"""Unit tests for ASSO's scoring helper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.asso import cover_score
+
+
+class TestCoverScore:
+    def test_rewards_newly_covered_ones(self):
+        target = np.array([[1, 1, 0, 0]], dtype=bool)
+        covered = np.zeros_like(target)
+        candidate = np.array([[1, 1, 0, 0]], dtype=bool)
+        gains = cover_score(covered, candidate, target, 1.0, 1.0)
+        assert gains[0] == pytest.approx(2.0)
+
+    def test_penalizes_covered_zeros(self):
+        target = np.array([[1, 0, 0, 0]], dtype=bool)
+        covered = np.zeros_like(target)
+        candidate = np.array([[1, 1, 1, 0]], dtype=bool)
+        gains = cover_score(covered, candidate, target, 1.0, 1.0)
+        assert gains[0] == pytest.approx(1.0 - 2.0)
+
+    def test_already_covered_cells_are_neutral(self):
+        target = np.array([[1, 1, 0, 0]], dtype=bool)
+        covered = np.array([[1, 0, 0, 0]], dtype=bool)
+        candidate = np.array([[1, 1, 0, 0]], dtype=bool)
+        gains = cover_score(covered, candidate, target, 1.0, 1.0)
+        assert gains[0] == pytest.approx(1.0)  # only the second 1 is new
+
+    def test_weights_scale_contributions(self):
+        target = np.array([[1, 0]], dtype=bool)
+        covered = np.zeros_like(target)
+        candidate = np.array([[1, 1]], dtype=bool)
+        gains = cover_score(covered, candidate, target, 2.0, 0.5)
+        assert gains[0] == pytest.approx(2.0 - 0.5)
+
+    def test_per_row_independence(self):
+        target = np.array([[1, 0], [0, 1]], dtype=bool)
+        covered = np.zeros_like(target)
+        candidate = np.array([[1, 0]], dtype=bool)  # broadcasts over rows
+        gains = cover_score(covered, candidate, target, 1.0, 1.0)
+        np.testing.assert_allclose(gains, [1.0, -1.0])

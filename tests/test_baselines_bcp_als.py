@@ -1,0 +1,114 @@
+"""Unit and integration tests for the BCP_ALS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MemoryBudgetExceeded, bcp_als, update_factor_uncached
+from repro.bitops import BitMatrix
+from repro.tensor import (
+    SparseBoolTensor,
+    planted_tensor,
+    random_factors,
+    reconstruct_dense,
+    tensor_from_factors,
+    unfold,
+)
+
+
+class TestUpdateFactorUncached:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        factors = random_factors((4, 5, 6), rank=3, density=0.4, rng=rng)
+        tensor = tensor_from_factors(factors)
+        unfolded = BitMatrix.from_dense(unfold(tensor, 0).to_dense())
+        start = list(random_factors((4, 5, 6), rank=3, density=0.5,
+                                    rng=np.random.default_rng(1)))
+        updated, error = update_factor_uncached(
+            unfolded, start[0], start[2], start[1]
+        )
+        start[0] = updated
+        brute = int((reconstruct_dense(tuple(start)) != tensor.to_dense()).sum())
+        assert error == brute
+
+    def test_agrees_with_dbtf_update(self):
+        # The cached (DBTF) and uncached (BCP_ALS) updates implement the
+        # same greedy rule and must produce identical factors.
+        from repro.core import DbtfConfig, prepare_partitioned_unfoldings, update_factor
+        from repro.distengine import SimulatedRuntime
+
+        rng = np.random.default_rng(2)
+        factors = random_factors((6, 5, 7), rank=4, density=0.4, rng=rng)
+        tensor = tensor_from_factors(factors)
+        start = random_factors((6, 5, 7), rank=4, density=0.5,
+                               rng=np.random.default_rng(3))
+
+        unfolded = BitMatrix.from_dense(unfold(tensor, 0).to_dense())
+        uncached_factor, uncached_error = update_factor_uncached(
+            unfolded, start[0], start[2], start[1]
+        )
+
+        runtime = SimulatedRuntime()
+        rdds = prepare_partitioned_unfoldings(tensor, 3, runtime)
+        config = DbtfConfig(rank=4, n_partitions=3)
+        cached_factor, cached_error = update_factor(
+            rdds[0], start[0], start[2], start[1], config, runtime
+        )
+        assert uncached_factor == cached_factor
+        assert uncached_error == cached_error
+
+
+class TestBcpAls:
+    def test_recovers_clean_planted_tensor(self):
+        rng = np.random.default_rng(4)
+        tensor, _ = planted_tensor((24, 24, 24), rank=4, factor_density=0.25, rng=rng)
+        result = bcp_als(tensor, rank=4)
+        assert result.relative_error < 0.05
+
+    def test_error_matches_reconstruction(self):
+        rng = np.random.default_rng(5)
+        tensor, _ = planted_tensor((12, 12, 12), rank=3, factor_density=0.3, rng=rng)
+        result = bcp_als(tensor, rank=3)
+        assert result.error == tensor.hamming_distance(result.reconstruct())
+
+    def test_errors_monotone(self):
+        rng = np.random.default_rng(6)
+        tensor, _ = planted_tensor((12, 12, 12), rank=3, factor_density=0.3, rng=rng,
+                                   additive_noise=0.2)
+        result = bcp_als(tensor, rank=3)
+        errors = result.errors_per_iteration
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_factor_shapes(self):
+        rng = np.random.default_rng(7)
+        tensor, _ = planted_tensor((8, 9, 10), rank=2, factor_density=0.3, rng=rng)
+        result = bcp_als(tensor, rank=2)
+        assert result.factors[0].shape == (8, 2)
+        assert result.factors[1].shape == (9, 2)
+        assert result.factors[2].shape == (10, 2)
+
+    def test_memory_budget_propagates(self):
+        rng = np.random.default_rng(8)
+        tensor, _ = planted_tensor((8, 8, 8), rank=2, factor_density=0.3, rng=rng)
+        with pytest.raises(MemoryBudgetExceeded):
+            bcp_als(tensor, rank=2, memory_budget_bytes=64)
+
+    def test_method_name(self):
+        rng = np.random.default_rng(9)
+        tensor, _ = planted_tensor((8, 8, 8), rank=2, factor_density=0.3, rng=rng)
+        assert bcp_als(tensor, rank=2).method == "BCP_ALS"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"rank": 0}, {"rank": 2, "max_iterations": 0}]
+    )
+    def test_invalid_arguments(self, kwargs):
+        tensor = SparseBoolTensor.empty((4, 4, 4))
+        with pytest.raises(ValueError):
+            bcp_als(tensor, **kwargs)
+
+    def test_non_three_way_rejected(self):
+        with pytest.raises(ValueError):
+            bcp_als(SparseBoolTensor.empty((2, 2)), rank=1)
+
+    def test_empty_tensor(self):
+        result = bcp_als(SparseBoolTensor.empty((4, 4, 4)), rank=2)
+        assert result.error == 0

@@ -1,0 +1,42 @@
+"""Unit tests for the exhaustive test oracles."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import error_of_rank1, exhaustive_best_rank1
+from repro.tensor import SparseBoolTensor, outer_product
+
+
+class TestExhaustiveRank1:
+    def test_exact_on_rank1_tensor(self):
+        tensor = outer_product([1, 0, 1], [0, 1, 1], [1, 1, 0])
+        _, error = exhaustive_best_rank1(tensor)
+        assert error == 0
+
+    def test_empty_tensor_best_is_zero(self):
+        vectors, error = exhaustive_best_rank1(SparseBoolTensor.empty((2, 2, 2)))
+        assert error == 0
+        assert outer_product(*vectors).nnz == 0
+
+    def test_returns_global_optimum(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((3, 3, 3)) < 0.4).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        vectors, error = exhaustive_best_rank1(tensor)
+        assert error == error_of_rank1(tensor, *vectors)
+        # Verify optimality against a random sample of alternatives.
+        for _ in range(30):
+            a = (rng.random(3) < 0.5).astype(np.uint8)
+            b = (rng.random(3) < 0.5).astype(np.uint8)
+            c = (rng.random(3) < 0.5).astype(np.uint8)
+            assert error_of_rank1(tensor, a, b, c) >= error
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            exhaustive_best_rank1(SparseBoolTensor.empty((8, 8, 8)))
+
+    def test_error_of_rank1(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0)])
+        assert error_of_rank1(tensor, [1, 0], [1, 0], [1, 0]) == 0
+        assert error_of_rank1(tensor, [0, 0], [0, 0], [0, 0]) == 1
+        assert error_of_rank1(tensor, [1, 1], [1, 1], [1, 1]) == 7

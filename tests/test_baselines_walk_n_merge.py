@@ -1,0 +1,179 @@
+"""Unit and integration tests for the Walk'n'Merge baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WalkNMergeConfig, blocks_to_factors, walk_n_merge
+from repro.baselines.walk_n_merge import DenseBlock, _FiberGraph, _try_merge
+from repro.tensor import SparseBoolTensor, outer_product, planted_tensor
+
+
+def block_tensor(index_sets, shape):
+    """A tensor that is exactly one dense block."""
+    a = np.zeros(shape[0], dtype=np.uint8)
+    b = np.zeros(shape[1], dtype=np.uint8)
+    c = np.zeros(shape[2], dtype=np.uint8)
+    a[list(index_sets[0])] = 1
+    b[list(index_sets[1])] = 1
+    c[list(index_sets[2])] = 1
+    return outer_product(a, b, c)
+
+
+class TestDenseBlock:
+    def test_density_and_dims(self):
+        block = DenseBlock(mode_indices=((0, 1), (2, 3, 4), (5,)), nnz_inside=3)
+        assert block.n_cells == 6
+        assert block.density == pytest.approx(0.5)
+        assert block.dims == (2, 3, 1)
+
+
+class TestFiberGraph:
+    def test_neighbors_share_two_coordinates(self):
+        tensor = SparseBoolTensor.from_nonzeros(
+            (4, 4, 4), [(0, 1, 1), (2, 1, 1), (0, 3, 1), (0, 1, 2)]
+        )
+        graph = _FiberGraph(tensor.coords)
+        rng = np.random.default_rng(0)
+        # Node for (0, 1, 1) is index 0 after sorting.
+        start = 0
+        for _ in range(50):
+            neighbor = graph.random_step(start, rng)
+            start_coord = tensor.coords[0]
+            neighbor_coord = tensor.coords[neighbor]
+            shared = int((start_coord == neighbor_coord).sum())
+            assert shared >= 2  # same fiber (or the node itself)
+
+    def test_isolated_nonzero_walks_to_itself(self):
+        tensor = SparseBoolTensor.from_nonzeros((3, 3, 3), [(1, 1, 1)])
+        graph = _FiberGraph(tensor.coords)
+        rng = np.random.default_rng(1)
+        assert graph.random_step(0, rng) == 0
+
+
+class TestTryMerge:
+    def test_merge_of_adjacent_slabs(self):
+        tensor = block_tensor([range(4), range(4), range(8)], (8, 8, 8))
+        left = DenseBlock(
+            mode_indices=(tuple(range(4)), tuple(range(4)), tuple(range(4))),
+            nnz_inside=64,
+        )
+        right = DenseBlock(
+            mode_indices=(tuple(range(4)), tuple(range(4)), tuple(range(4, 8))),
+            nnz_inside=64,
+        )
+        merged = _try_merge(tensor.coords, left, right, threshold=0.99)
+        assert merged is not None
+        assert merged.nnz_inside == 128
+        assert merged.dims == (4, 4, 8)
+
+    def test_merge_rejected_when_union_sparse(self):
+        tensor = SparseBoolTensor.from_nonzeros(
+            (10, 10, 10),
+            [(i, j, k) for i in range(4) for j in range(4) for k in range(2)]
+            + [(i, j, k) for i in range(6, 10) for j in range(6, 10) for k in range(8, 10)],
+        )
+        left = DenseBlock(
+            mode_indices=(tuple(range(4)), tuple(range(4)), (0, 1)), nnz_inside=32
+        )
+        right = DenseBlock(
+            mode_indices=(tuple(range(6, 10)), tuple(range(6, 10)), (8, 9)),
+            nnz_inside=32,
+        )
+        assert _try_merge(tensor.coords, left, right, threshold=0.9) is None
+
+
+class TestWalkNMerge:
+    def test_finds_single_planted_block(self):
+        tensor = block_tensor([range(2, 8), range(1, 7), range(0, 6)], (12, 12, 12))
+        result = walk_n_merge(
+            tensor, rank=3, config=WalkNMergeConfig(density_threshold=0.99, seed=0)
+        )
+        assert result.error == 0
+        assert result.details["n_blocks"] >= 1
+
+    def test_recovers_disjoint_blocks(self):
+        first = block_tensor([range(0, 5), range(0, 5), range(0, 5)], (16, 16, 16))
+        second = block_tensor([range(8, 14), range(8, 14), range(8, 14)], (16, 16, 16))
+        tensor = first.boolean_or(second)
+        result = walk_n_merge(
+            tensor, rank=4, config=WalkNMergeConfig(density_threshold=0.99, seed=1)
+        )
+        assert result.error == 0
+
+    def test_reasonable_on_planted_tensor(self):
+        rng = np.random.default_rng(2)
+        tensor, _ = planted_tensor((20, 20, 20), rank=3, factor_density=0.3, rng=rng)
+        result = walk_n_merge(
+            tensor, rank=3, config=WalkNMergeConfig(density_threshold=0.9, seed=3)
+        )
+        assert result.error <= tensor.nnz  # no worse than the empty model
+
+    def test_rank_limits_exported_components(self):
+        first = block_tensor([range(0, 5), range(0, 5), range(0, 5)], (16, 16, 16))
+        second = block_tensor([range(8, 14), range(8, 14), range(8, 14)], (16, 16, 16))
+        tensor = first.boolean_or(second)
+        result = walk_n_merge(
+            tensor, rank=1, config=WalkNMergeConfig(density_threshold=0.99, seed=4)
+        )
+        # Only the biggest block is exported; the other one is left uncovered.
+        assert result.error == min(first.nnz, second.nnz)
+
+    def test_empty_tensor(self):
+        result = walk_n_merge(SparseBoolTensor.empty((5, 5, 5)), rank=2)
+        assert result.error == 0
+        assert result.details["n_blocks"] == 0
+
+    def test_min_block_size_respected(self):
+        # A 2x2x2 block is below the 4x4x4 minimum and must be ignored.
+        tensor = block_tensor([range(2), range(2), range(2)], (8, 8, 8))
+        result = walk_n_merge(
+            tensor, rank=2,
+            config=WalkNMergeConfig(density_threshold=0.99, min_block_dim=4, seed=5),
+        )
+        assert result.details["n_blocks"] == 0
+        assert result.error == tensor.nnz
+
+    def test_small_min_block_allows_small_blocks(self):
+        tensor = block_tensor([range(2), range(2), range(2)], (8, 8, 8))
+        result = walk_n_merge(
+            tensor, rank=2,
+            config=WalkNMergeConfig(density_threshold=0.99, min_block_dim=2, seed=6),
+        )
+        assert result.error == 0
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(7)
+        tensor, _ = planted_tensor((14, 14, 14), rank=2, factor_density=0.3, rng=rng)
+        config = WalkNMergeConfig(density_threshold=0.9, seed=8)
+        first = walk_n_merge(tensor, rank=2, config=config)
+        second = walk_n_merge(tensor, rank=2, config=config)
+        assert first.error == second.error
+        assert first.factors == second.factors
+
+    def test_non_three_way_rejected(self):
+        with pytest.raises(ValueError):
+            walk_n_merge(SparseBoolTensor.empty((2, 2)), rank=1)
+
+
+class TestBlocksToFactors:
+    def test_largest_blocks_chosen(self):
+        big = DenseBlock(mode_indices=((0, 1, 2), (0, 1, 2), (0, 1, 2)), nnz_inside=27)
+        small = DenseBlock(mode_indices=((5,), (5,), (5,)), nnz_inside=1)
+        factors = blocks_to_factors([small, big], (6, 6, 6), rank=1)
+        assert factors[0].column(0).sum() == 3  # big block's indices
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            blocks_to_factors([], (2, 2, 2), rank=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkNMergeConfig(density_threshold=0.0)
+        with pytest.raises(ValueError):
+            WalkNMergeConfig(min_block_dim=0)
+        with pytest.raises(ValueError):
+            WalkNMergeConfig(walk_length=0)
+        with pytest.raises(ValueError):
+            WalkNMergeConfig(visit_threshold=0)
+        with pytest.raises(ValueError):
+            WalkNMergeConfig(max_seeds=0)

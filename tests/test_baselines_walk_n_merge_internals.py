@@ -1,0 +1,93 @@
+"""Unit tests for Walk'n'Merge internals (shrink phase, merge loop)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.walk_n_merge import (
+    DenseBlock,
+    WalkNMergeConfig,
+    _count_inside,
+    _merge_blocks,
+    _shrink_to_density,
+)
+from repro.tensor import SparseBoolTensor, outer_product
+
+
+def block_coords(i_range, j_range, k_range, shape):
+    a = np.zeros(shape[0], dtype=np.uint8)
+    b = np.zeros(shape[1], dtype=np.uint8)
+    c = np.zeros(shape[2], dtype=np.uint8)
+    a[list(i_range)] = 1
+    b[list(j_range)] = 1
+    c[list(k_range)] = 1
+    return outer_product(a, b, c).coords
+
+
+class TestCountInside:
+    def test_counts_block_members(self):
+        coords = block_coords(range(3), range(3), range(3), (6, 6, 6))
+        sets = [np.arange(2), np.arange(3), np.arange(3)]
+        inside = _count_inside(coords, sets)
+        assert inside.sum() == 2 * 3 * 3
+
+    def test_empty_sets(self):
+        coords = block_coords(range(2), range(2), range(2), (4, 4, 4))
+        inside = _count_inside(coords, [np.array([], dtype=int)] * 3)
+        assert inside.sum() == 0
+
+
+class TestShrinkToDensity:
+    def test_already_dense_block_untouched(self):
+        coords = block_coords(range(4), range(4), range(4), (8, 8, 8))
+        sets = [np.arange(4), np.arange(4), np.arange(4)]
+        config = WalkNMergeConfig(density_threshold=0.99, min_block_dim=4)
+        block = _shrink_to_density(coords, sets, config)
+        assert block is not None
+        assert block.density == 1.0
+        assert block.dims == (4, 4, 4)
+
+    def test_peels_weak_indices(self):
+        # A 4x4x4 solid block plus a stray index in mode 0 with no support.
+        coords = block_coords(range(4), range(4), range(4), (8, 8, 8))
+        sets = [np.arange(5), np.arange(4), np.arange(4)]  # index 4 is empty
+        config = WalkNMergeConfig(density_threshold=0.99, min_block_dim=4)
+        block = _shrink_to_density(coords, sets, config)
+        assert block is not None
+        assert block.dims == (4, 4, 4)
+        assert 4 not in block.mode_indices[0]
+
+    def test_rejects_when_below_min_size(self):
+        coords = block_coords(range(2), range(2), range(2), (8, 8, 8))
+        sets = [np.arange(2), np.arange(2), np.arange(2)]
+        config = WalkNMergeConfig(density_threshold=0.99, min_block_dim=4)
+        assert _shrink_to_density(coords, sets, config) is None
+
+
+class TestMergeBlocks:
+    def test_merges_overlapping_halves(self):
+        tensor_coords = block_coords(range(6), range(6), range(6), (10, 10, 10))
+        left = DenseBlock(
+            mode_indices=(tuple(range(6)), tuple(range(6)), tuple(range(4))),
+            nnz_inside=6 * 6 * 4,
+        )
+        right = DenseBlock(
+            mode_indices=(tuple(range(6)), tuple(range(6)), tuple(range(2, 6))),
+            nnz_inside=6 * 6 * 4,
+        )
+        merged = _merge_blocks(tensor_coords, [left, right], threshold=0.99)
+        assert len(merged) == 1
+        assert merged[0].dims == (6, 6, 6)
+
+    def test_keeps_incompatible_blocks_apart(self):
+        first = block_coords(range(3), range(3), range(3), (12, 12, 12))
+        second = block_coords(range(8, 12), range(8, 12), range(8, 12), (12, 12, 12))
+        coords = np.concatenate([first, second])
+        blocks = [
+            DenseBlock(mode_indices=(tuple(range(3)),) * 3, nnz_inside=27),
+            DenseBlock(mode_indices=(tuple(range(8, 12)),) * 3, nnz_inside=64),
+        ]
+        merged = _merge_blocks(coords, blocks, threshold=0.9)
+        assert len(merged) == 2
+
+    def test_empty_input(self):
+        assert _merge_blocks(np.zeros((0, 3), dtype=np.int64), [], 0.9) == []

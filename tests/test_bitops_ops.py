@@ -1,0 +1,171 @@
+"""Unit tests for Boolean linear-algebra operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import (
+    BitMatrix,
+    boolean_matmul,
+    khatri_rao,
+    or_accumulate_table,
+    packing,
+    pointwise_vector_matrix,
+)
+
+
+def random_dense(n_rows, n_cols, seed, density=0.5):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n_rows, n_cols)) < density).astype(np.uint8)
+
+
+def dense_boolean_matmul(left, right):
+    return ((left.astype(np.int32) @ right.astype(np.int32)) > 0).astype(np.uint8)
+
+
+class TestBooleanMatmul:
+    def test_small_example(self):
+        left = BitMatrix.from_dense(np.array([[1, 0], [1, 1]], dtype=np.uint8))
+        right = BitMatrix.from_dense(np.array([[0, 1, 0], [1, 1, 0]], dtype=np.uint8))
+        result = boolean_matmul(left, right)
+        np.testing.assert_array_equal(
+            result.to_dense(), [[0, 1, 0], [1, 1, 0]]
+        )
+
+    def test_boolean_not_integer_sum(self):
+        # Two overlapping contributions must still give 1 (1 + 1 = 1).
+        left = BitMatrix.from_dense(np.array([[1, 1]], dtype=np.uint8))
+        right = BitMatrix.from_dense(np.array([[1], [1]], dtype=np.uint8))
+        assert boolean_matmul(left, right).to_dense()[0, 0] == 1
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            boolean_matmul(BitMatrix.zeros(2, 3), BitMatrix.zeros(4, 2))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_reference(self, seed):
+        left_dense = random_dense(7, 9, seed, density=0.3)
+        right_dense = random_dense(9, 11, seed + 100, density=0.3)
+        result = boolean_matmul(
+            BitMatrix.from_dense(left_dense), BitMatrix.from_dense(right_dense)
+        )
+        np.testing.assert_array_equal(
+            result.to_dense(), dense_boolean_matmul(left_dense, right_dense)
+        )
+
+    def test_identity_is_neutral(self):
+        dense = random_dense(6, 6, seed=42)
+        matrix = BitMatrix.from_dense(dense)
+        assert boolean_matmul(BitMatrix.identity(6), matrix) == matrix
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8), st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_property(self, m, k, n, seed):
+        left_dense = random_dense(m, k, seed)
+        right_dense = random_dense(k, n, seed + 1)
+        result = boolean_matmul(
+            BitMatrix.from_dense(left_dense), BitMatrix.from_dense(right_dense)
+        )
+        np.testing.assert_array_equal(
+            result.to_dense(), dense_boolean_matmul(left_dense, right_dense)
+        )
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        left = BitMatrix.from_dense(random_dense(3, 4, seed=1))
+        right = BitMatrix.from_dense(random_dense(5, 4, seed=2))
+        assert khatri_rao(left, right).shape == (15, 4)
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            khatri_rao(BitMatrix.zeros(2, 3), BitMatrix.zeros(2, 4))
+
+    def test_matches_definition(self):
+        # Column r must be the Kronecker product of the two r-th columns.
+        left_dense = random_dense(3, 2, seed=3)
+        right_dense = random_dense(4, 2, seed=4)
+        product = khatri_rao(
+            BitMatrix.from_dense(left_dense), BitMatrix.from_dense(right_dense)
+        ).to_dense()
+        for r in range(2):
+            expected = np.kron(left_dense[:, r], right_dense[:, r])
+            np.testing.assert_array_equal(product[:, r], expected)
+
+    def test_row_layout_matches_unfolding(self):
+        # Row (p, q) must land at flat index p * Q + q, matching Eq. (1).
+        left = BitMatrix.from_dense(np.array([[0], [1]], dtype=np.uint8))
+        right = BitMatrix.from_dense(np.array([[1], [0], [0]], dtype=np.uint8))
+        product = khatri_rao(left, right).to_dense()
+        # p=1, q=0 -> flat row 1*3+0 = 3
+        np.testing.assert_array_equal(product.ravel(), [0, 0, 0, 1, 0, 0])
+
+
+class TestPointwiseVectorMatrix:
+    def test_keeps_and_zeroes_columns(self):
+        matrix = BitMatrix.from_dense(random_dense(4, 3, seed=5))
+        result = pointwise_vector_matrix(np.array([1, 0, 1]), matrix)
+        expected = matrix.to_dense().copy()
+        expected[:, 1] = 0
+        np.testing.assert_array_equal(result.to_dense(), expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pointwise_vector_matrix(np.array([1, 0]), BitMatrix.zeros(4, 3))
+
+    def test_khatri_rao_decomposes_into_pvm_blocks(self):
+        # (C ⊙ B)^T = [(c_1: ∗ B)^T ... (c_K: ∗ B)^T] — paper Sec. III-C.
+        c_dense = random_dense(3, 4, seed=6)
+        b_dense = random_dense(5, 4, seed=7)
+        c_matrix = BitMatrix.from_dense(c_dense)
+        b_matrix = BitMatrix.from_dense(b_dense)
+        full = khatri_rao(c_matrix, b_matrix).to_dense().T  # R x (K*J)
+        for k in range(3):
+            block = pointwise_vector_matrix(c_dense[k], b_matrix).to_dense().T
+            np.testing.assert_array_equal(full[:, k * 5 : (k + 1) * 5], block)
+
+
+class TestOrAccumulateTable:
+    def test_empty(self):
+        table = or_accumulate_table(np.zeros((0, 2), dtype=np.uint64), 0)
+        assert table.shape == (1, 2)
+        assert table.sum() == 0
+
+    def test_all_subsets(self):
+        dense = random_dense(3, 40, seed=8)
+        packed = packing.pack_bits(dense)
+        table = or_accumulate_table(packed, 3)
+        assert table.shape == (8, packed.shape[1])
+        for mask in range(8):
+            selected = [b for b in range(3) if mask & (1 << b)]
+            expected = (
+                (dense[selected].sum(axis=0) > 0).astype(np.uint8)
+                if selected
+                else np.zeros(40, dtype=np.uint8)
+            )
+            np.testing.assert_array_equal(
+                packing.unpack_bits(table[mask], 40), expected
+            )
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            or_accumulate_table(np.zeros((1, 1), dtype=np.uint64), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            or_accumulate_table(np.zeros((1, 1), dtype=np.uint64), -1)
+
+    @given(st.integers(0, 6), st.integers(1, 100), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_table_entry_property(self, n_columns, width, seed):
+        dense = random_dense(max(n_columns, 1), width, seed)
+        packed = packing.pack_bits(dense)
+        table = or_accumulate_table(packed, n_columns)
+        rng = np.random.default_rng(seed)
+        mask = int(rng.integers(0, 1 << n_columns))
+        selected = [b for b in range(n_columns) if mask & (1 << b)]
+        expected = np.zeros(width, dtype=np.uint8)
+        if selected:
+            expected = (dense[selected].sum(axis=0) > 0).astype(np.uint8)
+        np.testing.assert_array_equal(packing.unpack_bits(table[mask], width), expected)

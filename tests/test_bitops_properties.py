@@ -1,0 +1,116 @@
+"""Algebraic property tests for the Boolean matrix operations.
+
+Boolean matrices under OR/AND form a semiring; these laws must hold for the
+bit-packed implementations exactly, because the CP machinery silently
+relies on them (e.g. the matricized identities in Eq. 12).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import BitMatrix, boolean_matmul, khatri_rao
+
+
+def random_bitmatrix(n_rows, n_cols, seed, density=0.4):
+    rng = np.random.default_rng(seed)
+    return BitMatrix.random(n_rows, n_cols, density, rng)
+
+
+class TestSemiringLaws:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+           st.integers(1, 5), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_associative(self, m, k, l, n, seed):
+        a = random_bitmatrix(m, k, seed)
+        b = random_bitmatrix(k, l, seed + 1)
+        c = random_bitmatrix(l, n, seed + 2)
+        left = boolean_matmul(boolean_matmul(a, b), c)
+        right = boolean_matmul(a, boolean_matmul(b, c))
+        assert left == right
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+           st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_distributes_over_or(self, m, k, n, seed):
+        a = random_bitmatrix(m, k, seed)
+        b = random_bitmatrix(k, n, seed + 1)
+        c = random_bitmatrix(k, n, seed + 2)
+        left = boolean_matmul(a, b.boolean_or(c))
+        right = boolean_matmul(a, b).boolean_or(boolean_matmul(a, c))
+        assert left == right
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_monotone(self, m, n, seed):
+        # Adding 1s to an operand can only add 1s to the product.
+        a = random_bitmatrix(m, 4, seed)
+        b = random_bitmatrix(4, n, seed + 1)
+        extra = random_bitmatrix(4, n, seed + 2)
+        small = boolean_matmul(a, b)
+        large = boolean_matmul(a, b.boolean_or(extra))
+        # small <= large elementwise: small AND large == small.
+        assert small.boolean_and(large) == small
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_reverses_product(self, m, k, n, seed):
+        a = random_bitmatrix(m, k, seed)
+        b = random_bitmatrix(k, n, seed + 1)
+        left = boolean_matmul(a, b).transpose()
+        right = boolean_matmul(b.transpose(), a.transpose())
+        assert left == right
+
+
+class TestDeMorgan:
+    @given(st.integers(1, 6), st.integers(1, 100), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_union_intersection_counts(self, n_rows, n_cols, seed):
+        a = random_bitmatrix(n_rows, n_cols, seed)
+        b = random_bitmatrix(n_rows, n_cols, seed + 1)
+        union = a.boolean_or(b).count_nonzeros()
+        intersection = a.boolean_and(b).count_nonzeros()
+        assert union + intersection == a.count_nonzeros() + b.count_nonzeros()
+
+    @given(st.integers(1, 6), st.integers(1, 100), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_xor_is_symmetric_difference(self, n_rows, n_cols, seed):
+        a = random_bitmatrix(n_rows, n_cols, seed)
+        b = random_bitmatrix(n_rows, n_cols, seed + 1)
+        xor_count = a.xor(b).count_nonzeros()
+        union = a.boolean_or(b).count_nonzeros()
+        intersection = a.boolean_and(b).count_nonzeros()
+        assert xor_count == union - intersection
+        assert xor_count == a.hamming_distance(b)
+
+
+class TestKhatriRaoStructure:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3),
+           st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_column_nnz_is_product(self, p, q, rank, seed):
+        a = random_bitmatrix(p, rank, seed)
+        b = random_bitmatrix(q, rank, seed + 1)
+        product = khatri_rao(a, b)
+        for r in range(rank):
+            expected = int(a.column(r).sum()) * int(b.column(r).sum())
+            assert int(product.column(r).sum()) == expected
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3),
+           st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_matricized_cp_identity(self, i, j, rank, seed):
+        # X(1) = A ∘ (C ⊙ B)^T for a factor tensor — Eq. (12) as a law.
+        from repro.tensor import random_factors, tensor_from_factors, unfold
+
+        rng = np.random.default_rng(seed)
+        factors = random_factors((i, j, 3), rank, 0.5, rng)
+        tensor = tensor_from_factors(factors)
+        a_matrix, b_matrix, c_matrix = factors
+        reconstructed = boolean_matmul(
+            a_matrix, khatri_rao(c_matrix, b_matrix).transpose()
+        )
+        np.testing.assert_array_equal(
+            unfold(tensor, 0).to_dense(), reconstructed.to_dense()
+        )

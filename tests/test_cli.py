@@ -1,0 +1,174 @@
+"""Integration tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tensor import load_matrix, load_tensor, random_tensor, save_tensor
+
+
+@pytest.fixture
+def tensor_file(tmp_path):
+    rng = np.random.default_rng(0)
+    tensor = random_tensor((12, 12, 12), density=0.1, rng=rng)
+    path = tmp_path / "input.tns"
+    save_tensor(tensor, path)
+    return path, tensor
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x.tns"])
+        assert args.kind == "random"
+        assert args.shape == [64, 64, 64]
+
+
+class TestGenerate:
+    def test_random(self, tmp_path, capsys):
+        out = tmp_path / "random.tns"
+        code = main(
+            ["generate", "--kind", "random", "--shape", "8", "8", "8",
+             "--density", "0.1", "--out", str(out)]
+        )
+        assert code == 0
+        tensor = load_tensor(out)
+        assert tensor.shape == (8, 8, 8)
+        assert tensor.nnz == round(0.1 * 512)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_planted(self, tmp_path):
+        out = tmp_path / "planted.tns"
+        main(["generate", "--kind", "planted", "--shape", "10", "10", "10",
+              "--rank", "2", "--factor-density", "0.4", "--out", str(out)])
+        assert load_tensor(out).nnz > 0
+
+    def test_dataset(self, tmp_path):
+        out = tmp_path / "fb.tns"
+        main(["generate", "--kind", "dataset", "--dataset", "facebook",
+              "--out", str(out)])
+        assert load_tensor(out).shape == (96, 96, 16)
+
+
+class TestInfo:
+    def test_prints_stats(self, tensor_file, capsys):
+        path, tensor = tensor_file
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "12x12x12" in out
+        assert str(tensor.nnz) in out
+
+
+class TestFactorize:
+    def test_dbtf(self, tensor_file, tmp_path, capsys):
+        path, tensor = tensor_file
+        factors_dir = tmp_path / "factors"
+        code = main(
+            ["factorize", str(path), "--method", "dbtf", "--rank", "3",
+             "--max-iterations", "2", "--partitions", "4",
+             "--factors-out", str(factors_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DBTF" in out
+        assert "relative error" in out
+        a_matrix = load_matrix(factors_dir / "A.mtx")
+        assert a_matrix.shape == (12, 3)
+
+    def test_bcp_als(self, tensor_file, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "bcp-als",
+                     "--rank", "2", "--max-iterations", "2"]) == 0
+        assert "BCP_ALS" in capsys.readouterr().out
+
+    def test_walk_n_merge(self, tensor_file, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "walk-n-merge",
+                     "--rank", "2", "--density-threshold", "0.5"]) == 0
+        assert "Walk'n'Merge" in capsys.readouterr().out
+
+    def test_tucker(self, tensor_file, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "tucker",
+                     "--core-shape", "2", "2", "2",
+                     "--max-iterations", "2"]) == 0
+        assert "Tucker" in capsys.readouterr().out
+
+    def test_nway_cp(self, tensor_file, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "nway-cp",
+                     "--rank", "2", "--max-iterations", "2"]) == 0
+        assert "N-way" in capsys.readouterr().out
+
+    def test_nway_cp_four_way_factor_export(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.tensor import SparseBoolTensor, save_tensor
+
+        rng = np.random.default_rng(3)
+        dense = (rng.random((5, 5, 5, 5)) < 0.1).astype(np.uint8)
+        path = tmp_path / "four.tns"
+        save_tensor(SparseBoolTensor.from_dense(dense), path)
+        out = tmp_path / "factors4"
+        assert main(["factorize", str(path), "--method", "nway-cp",
+                     "--rank", "2", "--max-iterations", "2",
+                     "--factors-out", str(out)]) == 0
+        assert (out / "factor_0.mtx").exists()
+        assert (out / "factor_3.mtx").exists()
+
+
+class TestExperiment:
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "facebook" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "speed-up" in capsys.readouterr().out
+
+    def test_fig7_with_chart(self, capsys):
+        assert main(["experiment", "fig7", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+
+    def test_lemma_traffic(self, capsys):
+        assert main(["experiment", "lemma-traffic-partitions"]) == 0
+        assert "collect bytes" in capsys.readouterr().out
+
+
+class TestMatrixIO:
+    def test_round_trip(self, tmp_path):
+        from repro.bitops import BitMatrix
+        from repro.tensor import save_matrix
+
+        rng = np.random.default_rng(1)
+        matrix = BitMatrix.random(9, 4, 0.4, rng)
+        path = tmp_path / "m.mtx"
+        save_matrix(matrix, path)
+        assert load_matrix(path) == matrix
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("0 0\n")
+        with pytest.raises(ValueError):
+            load_matrix(path)
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "bad2.mtx"
+        path.write_text("# matrix 2 2\n0 0 0\n")
+        with pytest.raises(ValueError):
+            load_matrix(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "ok.mtx"
+        path.write_text("# matrix 2 2\n# comment\n\n1 1\n")
+        matrix = load_matrix(path)
+        assert matrix.get(1, 1) == 1
+        assert matrix.count_nonzeros() == 1

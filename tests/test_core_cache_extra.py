@@ -1,0 +1,67 @@
+"""Extra cache tests: multi-word widths and cross-word group keys."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix, packing
+from repro.core import RowSummationCache
+
+
+class TestWideCaches:
+    def test_width_beyond_one_word(self):
+        # Inner matrices wider than 64 columns pack into multiple words;
+        # the cached summations must still match a dense reference.
+        rng = np.random.default_rng(0)
+        inner = BitMatrix.random(130, 4, 0.4, rng)
+        cache = RowSummationCache(inner, group_size=15)
+        dense = inner.to_dense()
+        for mask in (0b0000, 0b0101, 0b1111):
+            packed_mask = packing.pack_bits(
+                np.array([[(mask >> r) & 1 for r in range(4)]], dtype=np.uint8)
+            )
+            fetched = cache.fetch(
+                cache.tables_for(0, 130), cache.group_keys(packed_mask)
+            )[0]
+            selected = [r for r in range(4) if mask & (1 << r)]
+            expected = (
+                (dense[:, selected].sum(axis=1) > 0).astype(np.uint8)
+                if selected
+                else np.zeros(130, dtype=np.uint8)
+            )
+            np.testing.assert_array_equal(
+                packing.unpack_bits(fetched, 130), expected
+            )
+
+    def test_group_keys_crossing_word_boundary(self):
+        # Rank > 64 forces mask words > 1; a group straddling the word
+        # boundary must take the slice_bits slow path and stay correct.
+        rng = np.random.default_rng(1)
+        rank = 70
+        inner = BitMatrix.random(8, rank, 0.3, rng)
+        # Groups of 18/17: the last group covers bits [53, 70), crossing
+        # the 64-bit word boundary — the slice_bits slow path.
+        cache = RowSummationCache(inner, group_size=18)
+        assert any(
+            start // 64 != (start + size - 1) // 64 for start, size in cache.groups
+        )
+        masks = BitMatrix.random(5, rank, 0.5, rng)
+        keys = cache.group_keys(masks.words)
+        for row in range(5):
+            row_mask = masks.row_mask(row)
+            for (start, size), key_array in zip(cache.groups, keys):
+                expected = (row_mask >> start) & ((1 << size) - 1)
+                assert int(key_array[row]) == expected
+
+    def test_sliced_tables_on_wide_inner(self):
+        rng = np.random.default_rng(2)
+        inner = BitMatrix.random(200, 3, 0.4, rng)
+        cache = RowSummationCache(inner, group_size=15)
+        sliced = cache.tables_for(60, 135)
+        dense = inner.to_dense()
+        mask = 0b110
+        packed_mask = packing.pack_bits(
+            np.array([[0, 1, 1]], dtype=np.uint8)
+        )
+        fetched = cache.fetch(sliced, cache.group_keys(packed_mask))[0]
+        expected = (dense[60:135, [1, 2]].sum(axis=1) > 0).astype(np.uint8)
+        np.testing.assert_array_equal(packing.unpack_bits(fetched, 75), expected)

@@ -1,0 +1,201 @@
+"""Unit tests for vertical partitioning and PVM-boundary blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import packing
+from repro.core import (
+    Block,
+    BlockType,
+    build_partition_data,
+    make_partition_plans,
+    pack_partition,
+    split_unfolding_coordinates,
+)
+from repro.tensor import PackedUnfolding, SparseBoolTensor, unfold
+
+
+class TestBlock:
+    def test_full_block(self):
+        block = Block(pvm_index=2, start=0, stop=8, width=8)
+        assert block.is_full
+        assert block.block_type is BlockType.FULL
+        assert block.n_cols == 8
+
+    def test_prefix_block(self):
+        assert Block(0, 0, 5, 8).block_type is BlockType.PREFIX
+
+    def test_suffix_block(self):
+        assert Block(0, 3, 8, 8).block_type is BlockType.SUFFIX
+
+    def test_interior_block(self):
+        assert Block(0, 2, 6, 8).block_type is BlockType.INTERIOR
+
+    @pytest.mark.parametrize("start,stop", [(3, 3), (5, 3), (-1, 2), (0, 9)])
+    def test_invalid_ranges(self, start, stop):
+        with pytest.raises(ValueError):
+            Block(0, start, stop, 8)
+
+
+class TestMakePartitionPlans:
+    def test_covers_all_columns_without_overlap(self):
+        plans = make_partition_plans(block_count=7, block_width=5, n_partitions=4)
+        assert plans[0].col_start == 0
+        assert plans[-1].col_stop == 35
+        for left, right in zip(plans, plans[1:]):
+            assert left.col_stop == right.col_start
+
+    def test_sizes_differ_by_at_most_one(self):
+        plans = make_partition_plans(block_count=7, block_width=5, n_partitions=4)
+        sizes = [plan.n_cols for plan in plans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_blocks_tile_each_partition(self):
+        plans = make_partition_plans(block_count=7, block_width=5, n_partitions=4)
+        for plan in plans:
+            total = sum(block.n_cols for block in plan.blocks)
+            assert total == plan.n_cols
+
+    def test_blocks_respect_pvm_boundaries(self):
+        plans = make_partition_plans(block_count=10, block_width=6, n_partitions=7)
+        for plan in plans:
+            cursor = plan.col_start
+            for block in plan.blocks:
+                absolute_start = block.pvm_index * block.width + block.start
+                assert absolute_start == cursor
+                cursor += block.n_cols
+            assert cursor == plan.col_stop
+
+    def test_lemma3_at_most_three_block_types(self):
+        # Lemma 3: a partition can have at most three types of blocks.
+        for block_count in (1, 3, 7, 16):
+            for width in (1, 4, 9):
+                for n_partitions in (1, 2, 5, 13):
+                    plans = make_partition_plans(block_count, width, n_partitions)
+                    for plan in plans:
+                        assert len(plan.block_types()) <= 3
+
+    def test_more_partitions_than_columns(self):
+        plans = make_partition_plans(block_count=2, block_width=2, n_partitions=10)
+        assert len(plans) == 10
+        non_empty = [plan for plan in plans if plan.n_cols > 0]
+        assert len(non_empty) == 4
+        empty = [plan for plan in plans if plan.n_cols == 0]
+        for plan in empty:
+            assert plan.blocks == ()
+
+    def test_single_partition_has_full_blocks_only(self):
+        plans = make_partition_plans(block_count=5, block_width=4, n_partitions=1)
+        assert len(plans) == 1
+        assert all(block.is_full for block in plans[0].blocks)
+        assert len(plans[0].blocks) == 5
+
+    @pytest.mark.parametrize(
+        "block_count,width,n_partitions", [(0, 1, 1), (1, 0, 1), (1, 1, 0)]
+    )
+    def test_invalid_arguments(self, block_count, width, n_partitions):
+        with pytest.raises(ValueError):
+            make_partition_plans(block_count, width, n_partitions)
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariants_property(self, block_count, width, n_partitions):
+        plans = make_partition_plans(block_count, width, n_partitions)
+        assert len(plans) == n_partitions
+        assert plans[-1].col_stop == block_count * width
+        for plan in plans:
+            assert len(plan.block_types()) <= 3
+            assert sum(block.n_cols for block in plan.blocks) == plan.n_cols
+
+
+class TestBuildPartitionData:
+    def _packed(self, shape, seed, mode=0):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random(shape) < 0.3).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        return PackedUnfolding(unfold(tensor, mode)), tensor
+
+    def test_blocks_carry_correct_bits(self):
+        packed, tensor = self._packed((6, 7, 8), seed=1)
+        plans = make_partition_plans(packed.block_count, packed.block_width, 5)
+        data = build_partition_data(packed, plans)
+        unfolded = packed.to_dense()
+        for part in data:
+            for block, words in zip(part.plan.blocks, part.block_words):
+                lo = block.pvm_index * block.width + block.start
+                hi = block.pvm_index * block.width + block.stop
+                np.testing.assert_array_equal(
+                    packing.unpack_bits(words, block.n_cols), unfolded[:, lo:hi]
+                )
+
+    def test_total_nonzeros_preserved(self):
+        packed, tensor = self._packed((5, 9, 4), seed=2)
+        plans = make_partition_plans(packed.block_count, packed.block_width, 3)
+        data = build_partition_data(packed, plans)
+        total = sum(
+            packing.popcount(words) for part in data for words in part.block_words
+        )
+        assert total == tensor.nnz
+
+    def test_nbytes_positive(self):
+        packed, _ = self._packed((4, 4, 4), seed=3)
+        plans = make_partition_plans(packed.block_count, packed.block_width, 2)
+        data = build_partition_data(packed, plans)
+        assert all(part.nbytes > 0 for part in data)
+
+
+class TestSparsePartitioning:
+    """The shuffle-then-pack path of Algorithm 3 (what DBTF actually uses)."""
+
+    def _unfolding(self, shape, seed, mode=0, density=0.3):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random(shape) < density).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        return unfold(tensor, mode), tensor
+
+    def test_every_nonzero_lands_in_exactly_one_partition(self):
+        unfolding, tensor = self._unfolding((6, 7, 8), seed=0)
+        plans = make_partition_plans(unfolding.block_count, unfolding.block_width, 5)
+        splits = split_unfolding_coordinates(unfolding, plans)
+        assert sum(split.nnz for split in splits) == tensor.nnz
+        for split in splits:
+            columns = split.block_ids * unfolding.block_width + split.offsets
+            assert (columns >= split.plan.col_start).all()
+            assert (columns < split.plan.col_stop).all()
+
+    def test_shuffle_bytes_proportional_to_nnz(self):
+        # Lemma 6: the shuffled volume is O(|X|), not O(cells).
+        unfolding, tensor = self._unfolding((8, 8, 8), seed=1, density=0.1)
+        plans = make_partition_plans(unfolding.block_count, unfolding.block_width, 3)
+        splits = split_unfolding_coordinates(unfolding, plans)
+        total = sum(split.nbytes for split in splits)
+        assert total == tensor.nnz * 3 * 8  # three int64 per nonzero
+
+    @pytest.mark.parametrize("shape", [(6, 7, 8), (5, 70, 3), (9, 3, 11)])
+    @pytest.mark.parametrize("n_partitions", [1, 4, 9])
+    def test_pack_partition_matches_dense_path(self, shape, n_partitions):
+        unfolding, tensor = self._unfolding(shape, seed=2)
+        packed = PackedUnfolding(unfolding)
+        plans = make_partition_plans(
+            unfolding.block_count, unfolding.block_width, n_partitions
+        )
+        dense_path = build_partition_data(packed, plans)
+        sparse_path = [
+            pack_partition(split)
+            for split in split_unfolding_coordinates(unfolding, plans)
+        ]
+        for expected, actual in zip(dense_path, sparse_path):
+            assert expected.plan == actual.plan
+            for left, right in zip(expected.block_words, actual.block_words):
+                np.testing.assert_array_equal(left, right)
+
+    def test_empty_partition_packs_to_no_blocks(self):
+        unfolding, _ = self._unfolding((2, 2, 2), seed=3)
+        plans = make_partition_plans(unfolding.block_count, unfolding.block_width, 10)
+        splits = split_unfolding_coordinates(unfolding, plans)
+        empty = [s for s in splits if s.plan.n_cols == 0]
+        assert empty
+        for split in empty:
+            assert pack_partition(split).block_words == []

@@ -1,0 +1,52 @@
+"""Unit tests for DecompositionResult."""
+
+import numpy as np
+import pytest
+
+from repro import dbtf, planted_tensor
+from repro.core import DbtfConfig, DecompositionResult
+from repro.tensor import random_factors
+
+
+class TestDecompositionResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = np.random.default_rng(0)
+        tensor, _ = planted_tensor((10, 10, 10), rank=2, factor_density=0.3, rng=rng)
+        return dbtf(tensor, rank=2, seed=0, n_partitions=2), tensor
+
+    def test_repr_mentions_key_fields(self, result):
+        decomposition, _ = result
+        text = repr(decomposition)
+        assert "rank=2" in text
+        assert "error=" in text
+        assert "converged=" in text
+
+    def test_n_iterations_matches_trace(self, result):
+        decomposition, _ = result
+        assert decomposition.n_iterations == len(
+            decomposition.errors_per_iteration
+        )
+
+    def test_reconstruct_shape(self, result):
+        decomposition, tensor = result
+        assert decomposition.reconstruct().shape == tensor.shape
+
+    def test_relative_error_zero_nnz(self):
+        rng = np.random.default_rng(1)
+        factors = random_factors((2, 2, 2), 1, 0.0, rng)
+        synthetic = DecompositionResult(
+            factors=factors,
+            error=5,
+            input_nnz=0,
+            errors_per_iteration=(5,),
+            converged=True,
+            report=None,
+            config=DbtfConfig(rank=1),
+        )
+        assert synthetic.relative_error == 5.0
+
+    def test_report_present_after_dbtf(self, result):
+        decomposition, _ = result
+        assert decomposition.report is not None
+        assert decomposition.report.n_stages > 0

@@ -1,0 +1,161 @@
+"""Unit tests for the distributed factor update (Algorithm 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import BitMatrix
+from repro.core import DbtfConfig, prepare_partitioned_unfoldings, update_factor
+from repro.distengine import SimulatedRuntime
+from repro.tensor import (
+    MODE_FACTOR_ROLES,
+    random_factors,
+    reconstruct_dense,
+    tensor_from_factors,
+)
+
+
+def brute_force_error(factors, dense):
+    return int((reconstruct_dense(factors) != dense).sum())
+
+
+def setup_problem(shape, rank, seed, density=0.4, n_partitions=3):
+    rng = np.random.default_rng(seed)
+    factors = random_factors(shape, rank, density, rng)
+    tensor = tensor_from_factors(factors)
+    runtime = SimulatedRuntime()
+    rdds = prepare_partitioned_unfoldings(tensor, n_partitions, runtime)
+    config = DbtfConfig(rank=rank, n_partitions=n_partitions)
+    return tensor, factors, rdds, config, runtime
+
+
+class TestUpdateFactorExactness:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_true_factors_reach_zero_error(self, mode):
+        tensor, factors, rdds, config, runtime = setup_problem((5, 6, 7), 3, seed=mode)
+        target_index, outer_index, inner_index = MODE_FACTOR_ROLES[mode]
+        updated, error = update_factor(
+            rdds[mode],
+            factors[target_index],
+            factors[outer_index],
+            factors[inner_index],
+            config,
+            runtime,
+        )
+        assert error == 0
+        current = list(factors)
+        current[target_index] = updated
+        assert brute_force_error(tuple(current), tensor.to_dense()) == 0
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reported_error_matches_brute_force(self, mode, seed):
+        tensor, factors, rdds, config, runtime = setup_problem((4, 5, 6), 3, seed=seed)
+        rng = np.random.default_rng(100 + seed)
+        start = list(random_factors((4, 5, 6), 3, 0.5, rng))
+        target_index, outer_index, inner_index = MODE_FACTOR_ROLES[mode]
+        updated, error = update_factor(
+            rdds[mode],
+            start[target_index],
+            start[outer_index],
+            start[inner_index],
+            config,
+            runtime,
+        )
+        start[target_index] = updated
+        assert error == brute_force_error(tuple(start), tensor.to_dense())
+
+    def test_update_never_increases_error(self):
+        tensor, _, rdds, config, runtime = setup_problem((6, 6, 6), 4, seed=9)
+        rng = np.random.default_rng(10)
+        start = random_factors((6, 6, 6), 4, 0.5, rng)
+        before = brute_force_error(start, tensor.to_dense())
+        updated, after = update_factor(
+            rdds[0], start[0], start[2], start[1], config, runtime
+        )
+        assert after <= before
+
+    def test_update_is_greedy_optimal_per_row(self):
+        # With rank 1 there is a single column; each row's choice must be
+        # the true argmin over {0, 1}.
+        tensor, _, rdds, config, runtime = setup_problem((4, 4, 4), 1, seed=5)
+        rng = np.random.default_rng(6)
+        start = list(random_factors((4, 4, 4), 1, 0.5, rng))
+        updated, _ = update_factor(
+            rdds[0], start[0], start[2], start[1], config, runtime
+        )
+        dense = tensor.to_dense()
+        for i in range(4):
+            errors = {}
+            for value in (0, 1):
+                candidate = updated.copy()
+                candidate.set(i, 0, value)
+                errors[value] = brute_force_error(
+                    (candidate, start[1], start[2]), dense
+                )
+            assert errors[updated.get(i, 0)] == min(errors.values())
+
+    def test_ties_prefer_zero(self):
+        # An all-zero tensor: covering anything strictly hurts unless the
+        # component covers nothing; either way zero must be chosen.
+        from repro.tensor import SparseBoolTensor
+
+        tensor = SparseBoolTensor.empty((3, 3, 3))
+        runtime = SimulatedRuntime()
+        rdds = prepare_partitioned_unfoldings(tensor, 2, runtime)
+        config = DbtfConfig(rank=2, n_partitions=2)
+        rng = np.random.default_rng(0)
+        start = random_factors((3, 3, 3), 2, 0.8, rng)
+        updated, error = update_factor(
+            rdds[0], start[0], start[2], start[1], config, runtime
+        )
+        assert error == 0
+        assert updated.count_nonzeros() == 0
+
+    def test_rank_mismatch_rejected(self):
+        tensor, factors, rdds, config, runtime = setup_problem((4, 4, 4), 2, seed=1)
+        wrong = BitMatrix.zeros(4, 5)
+        with pytest.raises(ValueError):
+            update_factor(rdds[0], wrong, factors[2], factors[1], config, runtime)
+
+
+class TestUpdateFactorWithGroupedCache:
+    def test_small_v_matches_large_v(self):
+        # The V split is an implementation detail: results must be identical.
+        tensor, factors, rdds, _, runtime = setup_problem((5, 5, 5), 6, seed=3)
+        rng = np.random.default_rng(4)
+        start = random_factors((5, 5, 5), 6, 0.5, rng)
+        results = []
+        for group_size in (2, 3, 15):
+            config = DbtfConfig(rank=6, n_partitions=3, cache_group_size=group_size)
+            updated, error = update_factor(
+                rdds[0], start[0], start[2], start[1], config, runtime
+            )
+            results.append((updated, error))
+        for updated, error in results[1:]:
+            assert updated == results[0][0]
+            assert error == results[0][1]
+
+
+class TestUpdateFactorPartitionInvariance:
+    @given(st.integers(1, 10), st.integers(0, 99))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_count_does_not_change_result(self, n_partitions, seed):
+        rng = np.random.default_rng(seed)
+        factors = random_factors((5, 6, 4), 3, 0.4, rng)
+        tensor = tensor_from_factors(factors)
+        start = random_factors((5, 6, 4), 3, 0.5, np.random.default_rng(seed + 1))
+
+        def run(parts):
+            runtime = SimulatedRuntime()
+            rdds = prepare_partitioned_unfoldings(tensor, parts, runtime)
+            config = DbtfConfig(rank=3, n_partitions=parts)
+            return update_factor(
+                rdds[0], start[0], start[2], start[1], config, runtime
+            )
+
+        baseline_factor, baseline_error = run(1)
+        updated, error = run(n_partitions)
+        assert updated == baseline_factor
+        assert error == baseline_error

@@ -1,0 +1,102 @@
+"""Unit tests for update-kernel internals (CachedPartition, mask helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix, packing
+from repro.core import DbtfConfig, RowSummationCache
+from repro.core.partition import build_partition_data, make_partition_plans
+from repro.core.update import CachedPartition, _masks_with_bit_cleared
+from repro.tensor import PackedUnfolding, SparseBoolTensor, random_factors, unfold
+
+
+class TestMasksWithBitCleared:
+    def test_clears_only_target_bit(self):
+        rng = np.random.default_rng(0)
+        matrix = BitMatrix.random(6, 10, 0.5, rng)
+        for column in (0, 5, 9):
+            masks = _masks_with_bit_cleared(matrix.words, column)
+            cleared = BitMatrix(6, 10, masks)
+            for row in range(6):
+                for col in range(10):
+                    expected = 0 if col == column else matrix.get(row, col)
+                    assert cleared.get(row, col) == expected
+
+    def test_bit_beyond_word_boundary(self):
+        rng = np.random.default_rng(1)
+        matrix = BitMatrix.random(3, 70, 0.5, rng)
+        masks = _masks_with_bit_cleared(matrix.words, 66)
+        cleared = BitMatrix(3, 70, masks)
+        assert all(cleared.get(row, 66) == 0 for row in range(3))
+
+    def test_original_untouched(self):
+        rng = np.random.default_rng(2)
+        matrix = BitMatrix.random(4, 8, 0.9, rng)
+        before = matrix.words.copy()
+        _masks_with_bit_cleared(matrix.words, 3)
+        np.testing.assert_array_equal(matrix.words, before)
+
+
+class TestCachedPartition:
+    def _build(self, shape, rank, n_partitions, seed):
+        rng = np.random.default_rng(seed)
+        factors = random_factors(shape, rank, 0.5, rng)
+        from repro.tensor import tensor_from_factors
+
+        tensor = tensor_from_factors(factors)
+        packed = PackedUnfolding(unfold(tensor, 0))
+        plans = make_partition_plans(packed.block_count, packed.block_width, n_partitions)
+        parts = build_partition_data(packed, plans)
+        cache = RowSummationCache(factors[1], group_size=15)
+        return tensor, factors, [CachedPartition(part, cache) for part in parts]
+
+    def test_full_and_edge_blocks_partition_the_plan(self):
+        _, _, cached = self._build((6, 7, 9), 3, 4, seed=0)
+        for cp in cached:
+            assert cp.full_pvms.size + len(cp.edge_blocks) == len(cp.data.plan.blocks)
+            # Lemma 3: at most two partial blocks per partition.
+            assert len(cp.edge_blocks) <= 2
+
+    def test_column_errors_sum_to_whole_row_error(self):
+        tensor, factors, cached = self._build((6, 7, 9), 3, 4, seed=1)
+        a_matrix, b_matrix, c_matrix = factors
+        column = 1
+        masks = _masks_with_bit_cleared(a_matrix.words, column)
+        inner_columns = b_matrix.transpose().words
+        total_zero = np.zeros(6, dtype=np.int64)
+        total_one = np.zeros(6, dtype=np.int64)
+        for cp in cached:
+            err_zero, err_one = cp.column_errors(
+                masks, c_matrix.words, c_matrix.column(column),
+                inner_columns[column],
+            )
+            total_zero += err_zero
+            total_one += err_one
+        # Brute-force reference over the dense unfolding.
+        from repro.bitops import khatri_rao
+
+        kr = khatri_rao(c_matrix, b_matrix).to_dense()  # (K*J, R)
+        unfolded = unfold(tensor, 0).to_dense()
+        for value, totals in ((0, total_zero), (1, total_one)):
+            candidate = a_matrix.copy()
+            for row in range(6):
+                candidate.set(row, column, value)
+            rows = candidate.to_dense().astype(bool)
+            reconstruction = (rows.astype(np.int32) @ kr.T.astype(np.int32)) > 0
+            expected = (reconstruction ^ unfolded.astype(bool)).sum(axis=1)
+            np.testing.assert_array_equal(totals, expected)
+
+    def test_empty_partition_contributes_zero(self):
+        # More partitions than columns leaves some partitions block-less.
+        tensor, factors, cached = self._build((3, 2, 2), 2, 10, seed=2)
+        a_matrix, b_matrix, c_matrix = factors
+        masks = _masks_with_bit_cleared(a_matrix.words, 0)
+        inner_columns = b_matrix.transpose().words
+        empty = [cp for cp in cached if not cp.data.plan.blocks]
+        assert empty
+        for cp in empty:
+            err_zero, err_one = cp.column_errors(
+                masks, c_matrix.words, c_matrix.column(0), inner_columns[0]
+            )
+            assert err_zero.sum() == 0
+            assert err_one.sum() == 0

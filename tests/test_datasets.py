@@ -1,0 +1,130 @@
+"""Unit tests for synthetic generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REGISTRY,
+    ErrorTensorSpec,
+    blocky_tensor,
+    error_tensor,
+    list_datasets,
+    load_dataset,
+    scalability_tensor,
+)
+from repro.tensor import tensor_from_factors
+
+
+class TestScalabilityTensor:
+    def test_shape_and_density(self):
+        tensor = scalability_tensor(5, density=0.01, seed=0)
+        assert tensor.shape == (32, 32, 32)
+        assert tensor.nnz == round(0.01 * 32**3)
+
+    def test_deterministic(self):
+        assert scalability_tensor(4, 0.05, seed=3) == scalability_tensor(4, 0.05, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert scalability_tensor(4, 0.05, seed=1) != scalability_tensor(4, 0.05, seed=2)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            scalability_tensor(0, 0.1)
+
+
+class TestErrorTensor:
+    def test_noise_free_matches_factors(self):
+        spec = ErrorTensorSpec(
+            shape=(16, 16, 16), rank=3, factor_density=0.3,
+            additive_noise=0.0, destructive_noise=0.0,
+        )
+        tensor, factors = error_tensor(spec)
+        assert tensor == tensor_from_factors(factors)
+
+    def test_additive_and_destructive_noise_counts(self):
+        spec = ErrorTensorSpec(
+            shape=(16, 16, 16), rank=3, factor_density=0.3,
+            additive_noise=0.1, destructive_noise=0.05,
+        )
+        tensor, factors = error_tensor(spec)
+        clean = tensor_from_factors(factors)
+        # additive applied to clean count, then destructive on clean count.
+        expected = clean.nnz + round(0.1 * clean.nnz) - round(0.05 * clean.nnz)
+        assert tensor.nnz == expected
+
+    def test_defaults_match_paper(self):
+        spec = ErrorTensorSpec()
+        assert spec.rank == 10
+        assert spec.factor_density == 0.1
+        assert spec.additive_noise == 0.10
+        assert spec.destructive_noise == 0.05
+
+
+class TestBlockyTensor:
+    def test_single_full_block(self):
+        rng = np.random.default_rng(0)
+        tensor = blocky_tensor(
+            (10, 10, 10), n_blocks=1, block_dims=((4, 4), (4, 4), (4, 4)), rng=rng
+        )
+        assert tensor.nnz == 64
+
+    def test_fill_reduces_density(self):
+        rng = np.random.default_rng(1)
+        tensor = blocky_tensor(
+            (10, 10, 10), n_blocks=1, block_dims=((6, 6), (6, 6), (6, 6)),
+            rng=rng, block_fill=0.5,
+        )
+        assert 0 < tensor.nnz < 216
+
+    def test_noise_added(self):
+        rng = np.random.default_rng(2)
+        quiet = blocky_tensor(
+            (10, 10, 10), n_blocks=0, block_dims=((1, 1),) * 3, rng=rng
+        )
+        assert quiet.nnz == 0
+        rng = np.random.default_rng(2)
+        noisy = blocky_tensor(
+            (10, 10, 10), n_blocks=0, block_dims=((1, 1),) * 3,
+            rng=rng, noise_density=0.05,
+        )
+        assert noisy.nnz == round(0.05 * 1000)
+
+    def test_invalid_block_dims(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            blocky_tensor((4, 4, 4), 1, ((5, 6), (1, 1), (1, 1)), rng)
+
+    def test_invalid_fill(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            blocky_tensor((4, 4, 4), 1, ((1, 1),) * 3, rng, block_fill=0.0)
+
+    def test_negative_blocks(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            blocky_tensor((4, 4, 4), -1, ((1, 1),) * 3, rng)
+
+
+class TestRegistry:
+    def test_all_table3_datasets_present(self):
+        assert list_datasets() == [
+            "facebook", "dblp", "ddos-s", "ddos-l", "nell-s", "nell-l",
+        ]
+
+    @pytest.mark.parametrize("name", ["facebook", "dblp", "ddos-s", "nell-s"])
+    def test_generation_matches_spec_shape(self, name):
+        tensor = load_dataset(name, seed=0)
+        assert tensor.shape == REGISTRY[name].shape
+        assert tensor.nnz > 0
+
+    def test_deterministic_generation(self):
+        assert load_dataset("facebook", seed=1) == load_dataset("facebook", seed=1)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_size_ordering_small_vs_large(self):
+        # The -L variants must be larger than their -S counterparts.
+        assert load_dataset("ddos-l").nnz > load_dataset("ddos-s").nnz
+        assert load_dataset("nell-l").nnz > load_dataset("nell-s").nnz

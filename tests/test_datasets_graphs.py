@@ -1,0 +1,64 @@
+"""Unit tests for the networkx graph views."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import connected_nonzero_components, fiber_graph
+from repro.tensor import SparseBoolTensor, outer_product
+
+
+class TestFiberGraph:
+    def test_nodes_are_nonzeros(self):
+        tensor = SparseBoolTensor.from_nonzeros((3, 3, 3), [(0, 0, 0), (1, 1, 1)])
+        graph = fiber_graph(tensor)
+        assert set(graph.nodes) == {(0, 0, 0), (1, 1, 1)}
+
+    def test_fiber_members_form_clique(self):
+        tensor = SparseBoolTensor.from_nonzeros(
+            (4, 2, 2), [(0, 1, 1), (1, 1, 1), (3, 1, 1)]
+        )
+        graph = fiber_graph(tensor)
+        assert graph.number_of_edges() == 3  # triangle on the mode-0 fiber
+
+    def test_disconnected_nonzeros_have_no_edge(self):
+        tensor = SparseBoolTensor.from_nonzeros((3, 3, 3), [(0, 0, 0), (1, 1, 1)])
+        graph = fiber_graph(tensor)
+        assert graph.number_of_edges() == 0
+
+    def test_edges_tagged_with_mode(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0), (0, 0, 1)])
+        graph = fiber_graph(tensor)
+        assert graph.edges[(0, 0, 0), (0, 0, 1)]["mode"] == 2
+
+    def test_non_three_way_rejected(self):
+        with pytest.raises(ValueError):
+            fiber_graph(SparseBoolTensor.empty((2, 2)))
+
+    def test_dense_block_is_connected(self):
+        import networkx as nx
+
+        block = outer_product([1, 1, 0], [1, 1, 0], [1, 1, 0])
+        graph = fiber_graph(block)
+        assert nx.is_connected(graph)
+
+
+class TestConnectedComponents:
+    def test_two_disjoint_blocks_split(self):
+        first = outer_product([1, 1, 0, 0], [1, 1, 0, 0], [1, 1, 0, 0])
+        second = outer_product([0, 0, 1, 1], [0, 0, 1, 1], [0, 0, 1, 1])
+        tensor = first.boolean_or(second)
+        components = connected_nonzero_components(tensor)
+        assert len(components) == 2
+        assert components[0].nnz == 8
+        assert components[1].nnz == 8
+        assert components[0].boolean_or(components[1]) == tensor
+
+    def test_sorted_largest_first(self):
+        big = outer_product([1, 1, 1, 0], [1, 1, 1, 0], [1, 1, 1, 0])
+        small = SparseBoolTensor.from_nonzeros((4, 4, 4), [(3, 3, 3)])
+        components = connected_nonzero_components(big.boolean_or(small))
+        assert components[0].nnz == 27
+        assert components[1].nnz == 1
+
+    def test_empty_tensor(self):
+        assert connected_nonzero_components(SparseBoolTensor.empty((2, 2, 2))) == []

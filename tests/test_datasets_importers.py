@@ -1,0 +1,123 @@
+"""Unit tests for the raw-data importers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    bin_timestamps,
+    from_timestamped_edges,
+    from_triple_file,
+    from_triples,
+)
+
+
+class TestFromTriples:
+    def test_basic_mapping(self):
+        labelled = from_triples(
+            [("seoul", "capital-of", "south-korea"),
+             ("paris", "capital-of", "france")]
+        )
+        assert labelled.tensor.shape == (2, 1, 2)
+        assert labelled.tensor.nnz == 2
+        assert labelled.labels[1] == ("capital-of",)
+
+    def test_first_seen_order(self):
+        labelled = from_triples([("b", "r", "x"), ("a", "r", "y")])
+        assert labelled.labels[0] == ("b", "a")
+        assert labelled.index_of(0, "b") == 0
+        assert labelled.index_of(0, "a") == 1
+
+    def test_duplicates_collapse(self):
+        labelled = from_triples([("a", "r", "x")] * 3)
+        assert labelled.tensor.nnz == 1
+
+    def test_label_round_trip(self):
+        labelled = from_triples([("a", "r", "x")])
+        assert labelled.label_of(0, labelled.index_of(0, "a")) == "a"
+
+    def test_unknown_label(self):
+        labelled = from_triples([("a", "r", "x")])
+        with pytest.raises(KeyError):
+            labelled.index_of(0, "missing")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            from_triples([("a", "b")])
+
+    def test_empty_input(self):
+        labelled = from_triples([])
+        assert labelled.tensor.nnz == 0
+        assert labelled.tensor.shape == (1, 1, 1)
+
+
+class TestFromTripleFile:
+    def test_reads_whitespace_triples(self, tmp_path):
+        path = tmp_path / "triples.txt"
+        path.write_text("# knowledge base\nseoul capital-of korea\n\n"
+                        "tokyo capital-of japan\n")
+        labelled = from_triple_file(path)
+        assert labelled.tensor.nnz == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "triples.csv"
+        path.write_text("a,likes,b\nb,likes,a\n")
+        labelled = from_triple_file(path, delimiter=",")
+        assert labelled.tensor.nnz == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("only two\n")
+        with pytest.raises(ValueError):
+            from_triple_file(path)
+
+
+class TestBinTimestamps:
+    def test_equal_width_bins(self):
+        bins = bin_timestamps(np.array([0.0, 5.0, 10.0]), n_bins=2)
+        np.testing.assert_array_equal(bins, [0, 1, 1])
+
+    def test_constant_timestamps(self):
+        bins = bin_timestamps(np.array([3.0, 3.0]), n_bins=4)
+        np.testing.assert_array_equal(bins, [0, 0])
+
+    def test_max_lands_in_last_bin(self):
+        bins = bin_timestamps(np.linspace(0, 1, 100), n_bins=10)
+        assert bins.max() == 9
+        assert bins.min() == 0
+
+    def test_empty(self):
+        assert bin_timestamps(np.array([]), n_bins=3).shape == (0,)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            bin_timestamps(np.array([1.0]), n_bins=0)
+
+
+class TestFromTimestampedEdges:
+    def test_shared_entity_space(self):
+        labelled = from_timestamped_edges(
+            [("alice", "bob", 0.0), ("bob", "carol", 10.0)], n_time_bins=2
+        )
+        assert labelled.tensor.shape == (3, 3, 2)
+        assert labelled.labels[0] == labelled.labels[1]
+        assert labelled.tensor.nnz == 2
+
+    def test_time_binning_applied(self):
+        labelled = from_timestamped_edges(
+            [("a", "b", 0.0), ("a", "b", 100.0)], n_time_bins=2
+        )
+        # Same pair in two different windows: two distinct nonzeros.
+        assert labelled.tensor.nnz == 2
+
+    def test_factorizable_output(self):
+        rng = np.random.default_rng(0)
+        edges = [
+            (f"u{rng.integers(0, 10)}", f"u{rng.integers(0, 10)}", float(t))
+            for t in range(50)
+        ]
+        labelled = from_timestamped_edges(edges, n_time_bins=5)
+        from repro import dbtf
+
+        result = dbtf(labelled.tensor, rank=2, seed=0, n_partitions=2,
+                      max_iterations=2)
+        assert result.error <= labelled.tensor.nnz

@@ -1,0 +1,63 @@
+"""Additional runtime/cost-model tests (driver latency, report coherence)."""
+
+import pytest
+
+from repro.distengine import ClusterConfig, SimulatedRuntime
+
+
+class TestDriverLatency:
+    def test_driver_latency_is_machine_independent(self):
+        config = ClusterConfig(
+            n_machines=4, cores_per_machine=1,
+            task_launch_overhead_sec=0.0, driver_latency_sec=1.0,
+        )
+        runtime = SimulatedRuntime(config)
+        rdd = runtime.parallelize([1, 2, 3, 4], n_partitions=4)
+        rdd.map(lambda x: x)
+        # One stage: both machine counts pay the same 1 s driver latency.
+        difference = runtime.simulated_time(1) - runtime.simulated_time(100)
+        assert difference < 1.0  # only the (tiny) compute part shrank
+
+    def test_driver_latency_counts_per_stage(self):
+        config = ClusterConfig(
+            n_machines=1, cores_per_machine=1,
+            task_launch_overhead_sec=0.0, driver_latency_sec=0.5,
+        )
+        runtime = SimulatedRuntime(config)
+        rdd = runtime.parallelize([1], n_partitions=1)
+        rdd = rdd.map(lambda x: x).map(lambda x: x).map(lambda x: x)
+        assert runtime.simulated_time(1) >= 1.5  # three stages x 0.5 s
+
+    def test_empty_stage_costs_nothing(self):
+        runtime = SimulatedRuntime()
+        runtime.record_stage("empty", [])
+        assert runtime.simulated_time(4) == 0.0
+
+
+class TestSpeedupShape:
+    def test_speedup_saturates_with_driver_latency(self):
+        # With a serial driver fraction, speed-up must flatten — the
+        # Figure 7 shape the cost model exists to reproduce.
+        config = ClusterConfig(
+            n_machines=16, cores_per_machine=1,
+            task_launch_overhead_sec=0.0, driver_latency_sec=0.05,
+        )
+        runtime = SimulatedRuntime(config)
+        rdd = runtime.parallelize(list(range(64)), n_partitions=64)
+        rdd.map(lambda x: sum(range(3000)))
+        t1 = runtime.simulated_time(1)
+        t4 = runtime.simulated_time(4)
+        t64 = runtime.simulated_time(64)
+        speedup_4 = t1 / t4
+        speedup_64 = t1 / t64
+        assert speedup_4 <= 4.0 + 1e-6
+        assert speedup_64 < 64.0  # strictly sublinear
+        # Diminishing returns: 64 machines give < 16x the 4-machine gain.
+        assert speedup_64 / speedup_4 < 16.0
+
+    def test_report_simulated_time_matches_method(self):
+        runtime = SimulatedRuntime()
+        rdd = runtime.parallelize([1, 2], n_partitions=2)
+        rdd.map(lambda x: x)
+        report = runtime.report(8)
+        assert report.simulated_time == pytest.approx(runtime.simulated_time(8))

@@ -1,0 +1,78 @@
+"""Unit tests for the LPT scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distengine import assign_tasks, makespan
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_slot_is_sum(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_slots_is_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+        assert makespan([1.0, 2.0, 3.0], 10) == pytest.approx(3.0)
+
+    def test_two_slots_balanced(self):
+        # LPT: 3 -> slot A, 2 -> slot B, 1 -> slot B => loads 3 and 3.
+        assert makespan([3.0, 2.0, 1.0], 2) == pytest.approx(3.0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            makespan([-1.0], 2)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_property(self, durations, n_slots):
+        result = makespan(durations, n_slots)
+        total = sum(durations)
+        longest = max(durations)
+        # Lower bounds: no schedule beats max(longest task, perfect split).
+        assert result >= longest - 1e-9
+        assert result >= total / n_slots - 1e-9
+        # Upper bound: never worse than serial execution.
+        assert result <= total + 1e-9
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_slots(self, durations):
+        # More slots can never make the stage slower.
+        previous = makespan(durations, 1)
+        for n_slots in (2, 4, 8):
+            current = makespan(durations, n_slots)
+            assert current <= previous + 1e-9
+            previous = current
+
+
+class TestAssignTasks:
+    def test_all_tasks_assigned_once(self):
+        durations = [5.0, 3.0, 2.0, 2.0, 1.0]
+        assignments = assign_tasks(durations, 2)
+        flat = sorted(index for slot in assignments for index in slot)
+        assert flat == list(range(5))
+
+    def test_assignment_matches_makespan(self):
+        durations = [5.0, 3.0, 2.0, 2.0, 1.0]
+        assignments = assign_tasks(durations, 2)
+        loads = [sum(durations[i] for i in slot) for slot in assignments]
+        assert max(loads) == pytest.approx(makespan(durations, 2))
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            assign_tasks([1.0], 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            assign_tasks([-0.5], 1)

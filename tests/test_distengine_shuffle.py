@@ -1,0 +1,43 @@
+"""Unit tests for the shuffle ledger."""
+
+import pytest
+
+from repro.distengine import ShuffleLedger, TransferKind
+
+
+class TestShuffleLedger:
+    def test_record_and_totals(self):
+        ledger = ShuffleLedger()
+        ledger.record(TransferKind.SHUFFLE, "stage-a", 100)
+        ledger.record(TransferKind.SHUFFLE, "stage-b", 50)
+        ledger.record(TransferKind.BROADCAST, "stage-a", 10)
+        assert ledger.total_bytes == 160
+        assert ledger.bytes_of_kind(TransferKind.SHUFFLE) == 150
+        assert ledger.bytes_of_kind(TransferKind.BROADCAST) == 10
+        assert ledger.by_stage["stage-a"] == 110
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ShuffleLedger().record("teleport", "s", 1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ShuffleLedger().record(TransferKind.SHUFFLE, "s", -1)
+
+    def test_missing_kind_reads_zero(self):
+        assert ShuffleLedger().bytes_of_kind(TransferKind.COLLECT) == 0
+
+    def test_reset(self):
+        ledger = ShuffleLedger()
+        ledger.record(TransferKind.COLLECT, "s", 5)
+        ledger.reset()
+        assert ledger.total_bytes == 0
+        assert not ledger.by_stage
+
+    def test_summary_has_all_kinds(self):
+        ledger = ShuffleLedger()
+        ledger.record(TransferKind.SHUFFLE, "s", 7)
+        summary = ledger.summary()
+        assert set(summary) == set(TransferKind.ALL)
+        assert summary[TransferKind.SHUFFLE] == 7
+        assert summary[TransferKind.BROADCAST] == 0

@@ -1,0 +1,38 @@
+"""Tests for the Sec. IV-D error-experiment driver."""
+
+import pytest
+
+from repro.datasets import ErrorTensorSpec
+from repro.experiments.errors import compare_on_spec
+
+TINY = ErrorTensorSpec(shape=(12, 12, 12), rank=2, factor_density=0.35,
+                       additive_noise=0.0, destructive_noise=0.0)
+
+
+class TestCompareOnSpec:
+    def test_returns_three_outcomes_in_order(self):
+        dbtf_outcome, wnm_outcome, bcp_outcome = compare_on_spec(
+            TINY, timeout_sec=60
+        )
+        assert dbtf_outcome.method == "DBTF"
+        assert wnm_outcome.method == "WalkNMerge"
+        assert bcp_outcome.method == "BCP_ALS"
+
+    def test_all_methods_beat_or_match_empty_model(self):
+        outcomes = compare_on_spec(TINY, timeout_sec=60)
+        for outcome in outcomes:
+            assert outcome.ok
+            assert outcome.relative_error <= 1.0
+
+    def test_noise_free_dbtf_is_accurate(self):
+        dbtf_outcome, _, _ = compare_on_spec(TINY, timeout_sec=60,
+                                             n_initial_sets=6)
+        assert dbtf_outcome.relative_error < 0.3
+
+    def test_walk_n_merge_threshold_follows_destructive_noise(self):
+        # With n_d = 0.5, t = 1 - n_d = 0.5; the call must not error and
+        # must produce a valid outcome.
+        spec = ErrorTensorSpec(shape=(12, 12, 12), rank=2, factor_density=0.35,
+                               additive_noise=0.0, destructive_noise=0.5)
+        _, wnm_outcome, _ = compare_on_spec(spec, timeout_sec=60)
+        assert wnm_outcome.ok

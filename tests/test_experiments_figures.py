@@ -1,0 +1,101 @@
+"""Integration tests for the figure/table experiment drivers (tiny grids)."""
+
+import pytest
+
+from repro.experiments import (
+    run_additive_noise_sweep,
+    run_density,
+    run_destructive_noise_sweep,
+    run_dimensionality,
+    run_factor_density_sweep,
+    run_machine_scalability,
+    run_rank,
+    run_rank_sweep,
+    run_realworld,
+    table1,
+    table3,
+)
+from repro.datasets import ErrorTensorSpec
+
+
+TINY_SPEC = ErrorTensorSpec(shape=(16, 16, 16), rank=3, factor_density=0.3)
+
+
+class TestFigure1:
+    def test_dimensionality_rows(self):
+        table = run_dimensionality(exponents=(4, 5), timeout_sec=30)
+        assert len(table.rows) == 2
+        assert table.headers[0] == "I=J=K"
+        # DBTF must complete at these sizes.
+        assert all(not cell.startswith("O.O.") for cell in table.column("DBTF (s)"))
+
+    def test_density_rows(self):
+        table = run_density(densities=(0.05, 0.1), exponent=4, timeout_sec=30)
+        assert len(table.rows) == 2
+
+    def test_rank_rows_cross_v_threshold(self):
+        table = run_rank(ranks=(10, 20), exponent=4, timeout_sec=30)
+        assert len(table.rows) == 2
+        assert all(not cell.startswith("O.O.") for cell in table.column("DBTF (s)"))
+
+
+class TestFigure6:
+    @pytest.mark.slow
+    def test_facebook_standin(self):
+        table = run_realworld(dataset_names=("facebook",), timeout_sec=30)
+        assert len(table.rows) == 1
+        assert not table.rows[0][2].startswith("O.O.")  # DBTF completes
+
+
+class TestFigure7:
+    def test_speedup_monotone(self):
+        table = run_machine_scalability(
+            machines=(4, 8, 16), exponent=5, max_iterations=2
+        )
+        speedups = [float(cell) for cell in table.column("speed-up T4/T_M")]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 1.0
+
+
+class TestErrorSweeps:
+    def test_factor_density_sweep(self):
+        table = run_factor_density_sweep(
+            densities=(0.3,), base=TINY_SPEC, timeout_sec=60
+        )
+        assert len(table.rows) == 1
+        dbtf_cell = table.rows[0][1]
+        assert not dbtf_cell.startswith("O.O.")
+        assert float(dbtf_cell) <= 1.0
+
+    def test_rank_sweep(self):
+        table = run_rank_sweep(ranks=(3,), base=TINY_SPEC, timeout_sec=60)
+        assert len(table.rows) == 1
+
+    def test_additive_noise_zero_level(self):
+        table = run_additive_noise_sweep(
+            levels=(0.0,), base=TINY_SPEC, timeout_sec=60
+        )
+        assert len(table.rows) == 1
+
+    def test_destructive_noise_level(self):
+        table = run_destructive_noise_sweep(
+            levels=(0.05,), base=TINY_SPEC, timeout_sec=60
+        )
+        assert len(table.rows) == 1
+
+
+class TestTables:
+    def test_table1_from_precomputed_sweeps(self):
+        dims = run_dimensionality(exponents=(4,), timeout_sec=30)
+        dens = run_density(densities=(0.05,), exponent=4, timeout_sec=30)
+        rank = run_rank(ranks=(10,), exponent=4, timeout_sec=30)
+        table = table1(dimensionality=dims, density=dens, rank=rank)
+        assert [row[0] for row in table.rows] == ["DBTF", "Walk'n'Merge", "BCP_ALS"]
+        dbtf_row = table.rows[0]
+        assert dbtf_row[1:] == ["High", "High", "High", "Yes"]
+
+    def test_table3_lists_all_datasets(self):
+        table = table3()
+        assert len(table.rows) == 6
+        assert table.rows[0][0] == "facebook"

@@ -1,0 +1,37 @@
+"""Tests for the Lemma 6-7 traffic-validation experiments."""
+
+from repro.experiments import run_traffic_vs_iterations, run_traffic_vs_partitions
+
+
+class TestTrafficVsIterations:
+    def test_shuffle_is_one_off(self):
+        table = run_traffic_vs_iterations(iterations=(1, 3), exponent=4, rank=3)
+        shuffles = set(table.column("shuffle bytes"))
+        assert len(shuffles) == 1  # Lemma 6: partitioning shuffles once
+
+    def test_broadcast_grows_with_iterations(self):
+        table = run_traffic_vs_iterations(iterations=(1, 4), exponent=4, rank=3)
+        performed = [int(cell) for cell in table.column("performed T")]
+        broadcasts = [int(cell) for cell in table.column("broadcast bytes")]
+        if performed[1] > performed[0]:
+            assert broadcasts[1] > broadcasts[0]
+
+    def test_reports_performed_iterations(self):
+        table = run_traffic_vs_iterations(iterations=(2,), exponent=4, rank=3)
+        performed = int(table.column("performed T")[0])
+        assert 1 <= performed <= 2
+
+
+class TestTrafficVsPartitions:
+    def test_collect_grows_with_partitions(self):
+        table = run_traffic_vs_partitions(
+            partition_counts=(2, 16), exponent=4, rank=3
+        )
+        collects = [int(cell) for cell in table.column("collect bytes")]
+        assert collects[1] > collects[0]  # Lemma 7: O(N·I) error collection
+
+    def test_row_per_partition_count(self):
+        table = run_traffic_vs_partitions(
+            partition_counts=(2, 4, 8), exponent=4, rank=2
+        )
+        assert [row[0] for row in table.rows] == ["2", "4", "8"]

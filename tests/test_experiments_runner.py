@@ -1,0 +1,127 @@
+"""Unit tests for the experiment harness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import MemoryBudgetExceeded
+from repro.experiments import (
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_OOT,
+    MethodOutcome,
+    ResultTable,
+    call_with_timeout,
+    run_bcp_als,
+    run_dbtf,
+    run_walk_n_merge,
+)
+from repro.tensor import planted_tensor
+
+
+class TestCallWithTimeout:
+    def test_fast_call_ok(self):
+        value, elapsed, status = call_with_timeout(lambda: 42, timeout_sec=5)
+        assert value == 42
+        assert status == STATUS_OK
+        assert elapsed >= 0
+
+    def test_no_timeout(self):
+        value, _, status = call_with_timeout(lambda: "done", timeout_sec=None)
+        assert value == "done"
+        assert status == STATUS_OK
+
+    def test_timeout_fires(self):
+        def slow():
+            time.sleep(5)
+            return "never"
+
+        value, elapsed, status = call_with_timeout(slow, timeout_sec=0.2)
+        assert value is None
+        assert status == STATUS_OOT
+        assert elapsed < 2
+
+    def test_memory_budget_maps_to_oom(self):
+        def explode():
+            raise MemoryBudgetExceeded("too big")
+
+        value, _, status = call_with_timeout(explode, timeout_sec=5)
+        assert value is None
+        assert status == STATUS_OOM
+
+    def test_other_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            call_with_timeout(lambda: (_ for _ in ()).throw(RuntimeError("x")), 5)
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("My Table", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "yy")
+        text = table.to_text()
+        assert "My Table" in text
+        assert "yy" in text
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_csv(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2"
+
+    def test_column_access(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("b") == ["x", "y"]
+
+    def test_empty_table_renders(self):
+        assert "t" in ResultTable("t", ["a"]).to_text()
+
+
+class TestMethodOutcome:
+    def test_labels_ok(self):
+        outcome = MethodOutcome("m", STATUS_OK, 1.234, error=5, relative_error=0.25)
+        assert outcome.time_label() == "1.23"
+        assert outcome.error_label() == "0.250"
+        assert outcome.ok
+
+    def test_labels_failed(self):
+        outcome = MethodOutcome("m", STATUS_OOT, 60.0)
+        assert outcome.time_label() == STATUS_OOT
+        assert outcome.error_label() == STATUS_OOT
+        assert not outcome.ok
+
+
+class TestMethodRunners:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        rng = np.random.default_rng(0)
+        tensor, _ = planted_tensor((12, 12, 12), rank=2, factor_density=0.3, rng=rng)
+        return tensor
+
+    def test_run_dbtf(self, tensor):
+        outcome = run_dbtf(tensor, 2, seed=0, n_partitions=4)
+        assert outcome.ok
+        assert outcome.error is not None
+        assert outcome.seconds > 0
+        assert outcome.details["host_seconds"] > 0
+
+    def test_run_bcp_als(self, tensor):
+        outcome = run_bcp_als(tensor, 2)
+        assert outcome.ok
+        assert outcome.error is not None
+
+    def test_run_bcp_als_oom(self, tensor):
+        outcome = run_bcp_als(tensor, 2, memory_budget_bytes=16)
+        assert outcome.status == STATUS_OOM
+
+    def test_run_walk_n_merge(self, tensor):
+        outcome = run_walk_n_merge(tensor, 2)
+        assert outcome.ok
+        assert "n_blocks" in outcome.details

@@ -1,0 +1,48 @@
+"""Unit tests for Table I derivation logic."""
+
+import pytest
+
+from repro.experiments import ResultTable, table1
+from repro.experiments.tables import _axis_rating
+
+
+def sweep_table(dbtf_cells, wnm_cells, bcp_cells):
+    table = ResultTable(
+        "fake sweep", ["x", "DBTF (s)", "Walk'n'Merge (s)", "BCP_ALS (s)"]
+    )
+    for row in zip(dbtf_cells, wnm_cells, bcp_cells):
+        table.add_row("p", *row)
+    return table
+
+
+class TestAxisRating:
+    def test_all_complete_is_high(self):
+        table = sweep_table(["1.0", "2.0"], ["3.0", "4.0"], ["5.0", "6.0"])
+        assert _axis_rating(table, "DBTF (s)") == "High"
+
+    def test_any_oot_is_low(self):
+        table = sweep_table(["1.0", "2.0"], ["3.0", "O.O.T."], ["5.0", "6.0"])
+        assert _axis_rating(table, "Walk'n'Merge (s)") == "Low"
+
+    def test_any_oom_is_low(self):
+        table = sweep_table(["1.0"], ["2.0"], ["O.O.M."])
+        assert _axis_rating(table, "BCP_ALS (s)") == "Low"
+
+
+class TestTable1:
+    def test_matches_paper_given_paper_shaped_sweeps(self):
+        # Feed in sweeps shaped like the paper's outcomes and check the
+        # derived matrix reproduces Table I exactly.
+        dims = sweep_table(
+            ["0.5", "0.5", "0.6"], ["1", "O.O.T.", "O.O.T."],
+            ["2", "O.O.M.", "O.O.M."],
+        )
+        density = sweep_table(
+            ["0.5", "0.5"], ["5", "O.O.T."], ["3", "4"],
+        )
+        rank = sweep_table(["0.5", "1.0"], ["20", "21"], ["3", "9"])
+        table = table1(dimensionality=dims, density=density, rank=rank)
+        ratings = {row[0]: row[1:] for row in table.rows}
+        assert ratings["DBTF"] == ["High", "High", "High", "Yes"]
+        assert ratings["Walk'n'Merge"] == ["Low", "Low", "High", "No"]
+        assert ratings["BCP_ALS"] == ["Low", "High", "High", "No"]

@@ -1,0 +1,117 @@
+"""Cross-module property tests: end-to-end invariants of the library.
+
+These exercise whole pipelines under hypothesis-generated inputs, checking
+properties that must hold for *any* valid input, not just the happy paths
+the unit tests cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import dbtf
+from repro.baselines import bcp_als, walk_n_merge
+from repro.metrics import description_length, reconstruction_error
+from repro.tensor import SparseBoolTensor, random_factors, tensor_from_factors
+
+
+def small_random_tensor(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density).astype(np.uint8)
+    return SparseBoolTensor.from_dense(dense)
+
+
+class TestDecompositionInvariants:
+    @given(
+        st.tuples(st.integers(3, 8), st.integers(3, 8), st.integers(3, 8)),
+        st.floats(0.05, 0.5),
+        st.integers(1, 4),
+        st.integers(0, 99),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dbtf_error_never_exceeds_trivial_models(self, shape, density, rank, seed):
+        tensor = small_random_tensor(shape, density, seed)
+        result = dbtf(tensor, rank=rank, seed=seed, n_partitions=2, max_iterations=2)
+        # Never worse than the all-zero model.
+        assert 0 <= result.error <= tensor.nnz
+        # The reported error is the true reconstruction error.
+        assert result.error == reconstruction_error(tensor, result.factors)
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=10, deadline=None)
+    def test_bcp_als_error_matches_factors(self, seed):
+        tensor = small_random_tensor((6, 7, 5), 0.3, seed)
+        result = bcp_als(tensor, rank=2, max_iterations=2)
+        assert result.error == reconstruction_error(tensor, result.factors)
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=10, deadline=None)
+    def test_walk_n_merge_error_matches_factors(self, seed):
+        tensor = small_random_tensor((8, 8, 8), 0.2, seed)
+        result = walk_n_merge(tensor, rank=3)
+        assert result.error == reconstruction_error(tensor, result.factors)
+
+    @given(st.integers(0, 99), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_cp_structure_is_representable(self, seed, rank):
+        # DBTF at the true rank, initialized well, must reach zero error on
+        # a noise-free factor tensor given enough restarts... at minimum it
+        # must never report a *negative improvement* trajectory.
+        rng = np.random.default_rng(seed)
+        factors = random_factors((8, 8, 8), rank, 0.4, rng)
+        tensor = tensor_from_factors(factors)
+        result = dbtf(tensor, rank=rank, seed=seed, n_partitions=2,
+                      n_initial_sets=2)
+        errors = result.errors_per_iteration
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=10, deadline=None)
+    def test_mdl_is_finite_and_positive(self, seed):
+        tensor = small_random_tensor((6, 6, 6), 0.3, seed)
+        rng = np.random.default_rng(seed)
+        factors = random_factors((6, 6, 6), 2, 0.5, rng)
+        bits = description_length(tensor, factors)
+        assert np.isfinite(bits)
+        assert bits > 0
+
+
+class TestSerializationInvariants:
+    @given(st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_tensor_io_round_trip_property(self, tmp_path_factory, seed):
+        tensor = small_random_tensor((5, 6, 7), 0.25, seed)
+        path = tmp_path_factory.mktemp("io") / "t.tns"
+        from repro.tensor import load_tensor, save_tensor
+
+        save_tensor(tensor, path)
+        assert load_tensor(path) == tensor
+
+    @given(st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_factor_io_round_trip_property(self, tmp_path_factory, seed):
+        from repro.bitops import BitMatrix
+        from repro.tensor import load_matrix, save_matrix
+
+        rng = np.random.default_rng(seed)
+        matrix = BitMatrix.random(7, 4, 0.4, rng)
+        path = tmp_path_factory.mktemp("io") / "m.mtx"
+        save_matrix(matrix, path)
+        assert load_matrix(path) == matrix
+
+
+class TestEngineReplayInvariants:
+    @given(st.integers(1, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_simulated_time_monotone_in_machines(self, machines):
+        from repro.distengine import SimulatedRuntime
+
+        runtime = SimulatedRuntime()
+        rdd = runtime.parallelize(list(range(64)), n_partitions=16)
+        rdd.map(lambda x: x + 1)
+        more = runtime.simulated_time(machines + 1)
+        fewer = runtime.simulated_time(machines)
+        # Compute makespan shrinks with machines; broadcast cost grows, but
+        # there are no broadcasts in this run.
+        assert more <= fewer + 1e-9

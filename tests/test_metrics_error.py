@@ -1,0 +1,106 @@
+"""Unit tests for reconstruction-error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    coverage_stats,
+    fast_reconstruction_error,
+    reconstruction_error,
+    relative_reconstruction_error,
+)
+from repro.tensor import (
+    SparseBoolTensor,
+    planted_tensor,
+    random_factors,
+    random_tensor,
+    tensor_from_factors,
+)
+
+
+class TestReconstructionError:
+    def test_zero_for_exact_factors(self):
+        rng = np.random.default_rng(0)
+        tensor, factors = planted_tensor((10, 10, 10), rank=3, factor_density=0.3, rng=rng)
+        assert reconstruction_error(tensor, factors) == 0
+
+    def test_equals_nnz_for_zero_factors(self):
+        rng = np.random.default_rng(1)
+        tensor = random_tensor((8, 8, 8), 0.1, rng)
+        factors = random_factors((8, 8, 8), 2, 0.0, rng)
+        assert reconstruction_error(tensor, factors) == tensor.nnz
+
+    def test_relative_error(self):
+        rng = np.random.default_rng(2)
+        tensor = random_tensor((8, 8, 8), 0.1, rng)
+        factors = random_factors((8, 8, 8), 2, 0.0, rng)
+        assert relative_reconstruction_error(tensor, factors) == pytest.approx(1.0)
+
+    def test_relative_error_empty_tensor(self):
+        rng = np.random.default_rng(3)
+        factors = random_factors((4, 4, 4), 2, 0.5, rng)
+        tensor = SparseBoolTensor.empty((4, 4, 4))
+        expected = float(tensor_from_factors(factors).nnz)
+        assert relative_reconstruction_error(tensor, factors) == expected
+
+
+class TestFastReconstructionError:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_sparse_version(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = random_tensor((9, 7, 11), 0.15, rng)
+        factors = random_factors((9, 7, 11), 4, 0.3, rng)
+        assert fast_reconstruction_error(tensor, factors) == reconstruction_error(
+            tensor, factors
+        )
+
+    def test_group_split_does_not_change_value(self):
+        rng = np.random.default_rng(6)
+        tensor = random_tensor((8, 8, 8), 0.1, rng)
+        factors = random_factors((8, 8, 8), 7, 0.3, rng)
+        full = fast_reconstruction_error(tensor, factors, group_size=16)
+        split = fast_reconstruction_error(tensor, factors, group_size=3)
+        assert full == split
+
+    @given(st.integers(0, 500), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_fast_equals_sparse_property(self, seed, rank):
+        rng = np.random.default_rng(seed)
+        tensor = random_tensor((6, 5, 7), 0.2, rng)
+        factors = random_factors((6, 5, 7), rank, 0.4, rng)
+        assert fast_reconstruction_error(tensor, factors) == reconstruction_error(
+            tensor, factors
+        )
+
+
+class TestCoverageStats:
+    def test_perfect_factors(self):
+        rng = np.random.default_rng(7)
+        tensor, factors = planted_tensor((8, 8, 8), rank=2, factor_density=0.4, rng=rng)
+        stats = coverage_stats(tensor, factors)
+        assert stats["precision"] == pytest.approx(1.0)
+        assert stats["recall"] == pytest.approx(1.0)
+        assert stats["overcovered_zeros"] == 0
+
+    def test_zero_factors(self):
+        rng = np.random.default_rng(8)
+        tensor = random_tensor((6, 6, 6), 0.2, rng)
+        factors = random_factors((6, 6, 6), 2, 0.0, rng)
+        stats = coverage_stats(tensor, factors)
+        assert stats["recall"] == 0.0
+        assert stats["precision"] == 1.0  # vacuous: empty reconstruction
+
+    def test_counts_consistent(self):
+        rng = np.random.default_rng(9)
+        tensor = random_tensor((6, 6, 6), 0.2, rng)
+        factors = random_factors((6, 6, 6), 3, 0.4, rng)
+        stats = coverage_stats(tensor, factors)
+        reconstructed = tensor_from_factors(factors)
+        assert stats["covered_ones"] + stats["overcovered_zeros"] == reconstructed.nnz
+        # error = missed ones + overcovered zeros
+        missed = tensor.nnz - stats["covered_ones"]
+        assert missed + stats["overcovered_zeros"] == reconstruction_error(
+            tensor, factors
+        )

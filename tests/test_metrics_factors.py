@@ -1,0 +1,85 @@
+"""Unit tests for factor-recovery metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix
+from repro.metrics import component_support, factor_match_score, jaccard
+from repro.tensor import random_factors
+
+
+def factors_from_columns(columns_per_mode):
+    """Build factors from explicit per-mode column index sets."""
+    factors = []
+    for mode_columns, size in columns_per_mode:
+        dense = np.zeros((size, len(mode_columns)), dtype=np.uint8)
+        for r, indices in enumerate(mode_columns):
+            dense[list(indices), r] = 1
+        factors.append(BitMatrix.from_dense(dense))
+    return tuple(factors)
+
+
+class TestJaccard:
+    def test_identical_blocks(self):
+        left = (np.array([0, 1]), np.array([2]), np.array([3, 4]))
+        assert jaccard(left, left) == pytest.approx(1.0)
+
+    def test_disjoint_blocks(self):
+        left = (np.array([0]), np.array([0]), np.array([0]))
+        right = (np.array([1]), np.array([1]), np.array([1]))
+        assert jaccard(left, right) == 0.0
+
+    def test_partial_overlap(self):
+        left = (np.array([0, 1]), np.array([0]), np.array([0]))
+        right = (np.array([0]), np.array([0]), np.array([0]))
+        assert jaccard(left, right) == pytest.approx(0.5)
+
+    def test_empty_modes_ignored(self):
+        left = (np.array([], dtype=int), np.array([0]), np.array([0]))
+        right = (np.array([], dtype=int), np.array([0]), np.array([0]))
+        assert jaccard(left, right) == pytest.approx(1.0)
+
+
+class TestComponentSupport:
+    def test_extracts_column_indices(self):
+        rng = np.random.default_rng(0)
+        factors = random_factors((5, 6, 7), 3, 0.5, rng)
+        support = component_support(factors, 1)
+        for factor, indices in zip(factors, support):
+            np.testing.assert_array_equal(np.flatnonzero(factor.column(1)), indices)
+
+
+class TestFactorMatchScore:
+    def test_perfect_match(self):
+        rng = np.random.default_rng(1)
+        factors = random_factors((6, 6, 6), 3, 0.5, rng)
+        assert factor_match_score(factors, factors) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(2)
+        factors = random_factors((6, 6, 6), 3, 0.5, rng)
+        permuted = tuple(
+            BitMatrix.from_dense(factor.to_dense()[:, [2, 0, 1]]) for factor in factors
+        )
+        assert factor_match_score(permuted, factors) == pytest.approx(1.0)
+
+    def test_no_overlap_scores_zero(self):
+        estimated = factors_from_columns(
+            [([{0}], 4), ([{0}], 4), ([{0}], 4)]
+        )
+        planted = factors_from_columns(
+            [([{3}], 4), ([{3}], 4), ([{3}], 4)]
+        )
+        assert factor_match_score(estimated, planted) == 0.0
+
+    def test_zero_rank_planted(self):
+        estimated = factors_from_columns([([{0}], 3), ([{0}], 3), ([{0}], 3)])
+        planted = (BitMatrix.zeros(3, 0), BitMatrix.zeros(3, 0), BitMatrix.zeros(3, 0))
+        assert factor_match_score(estimated, planted) == 1.0
+
+    def test_extra_estimated_components_do_not_hurt(self):
+        planted = factors_from_columns([([{0, 1}], 4), ([{2}], 4), ([{3}], 4)])
+        estimated = factors_from_columns(
+            [([{0, 1}, {2}], 4), ([{2}, {0}], 4), ([{3}, {1}], 4)]
+        )
+        assert factor_match_score(estimated, planted) == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for MDL rank selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    description_length,
+    factors_code_length,
+    log2_binomial,
+    select_rank,
+    vector_code_length,
+)
+from repro.tensor import planted_tensor, random_factors
+
+
+class TestLog2Binomial:
+    def test_edge_cases(self):
+        assert log2_binomial(5, 0) == 0.0
+        assert log2_binomial(5, 5) == 0.0
+
+    def test_small_values_exact(self):
+        assert log2_binomial(4, 2) == pytest.approx(math.log2(6))
+        assert log2_binomial(10, 3) == pytest.approx(math.log2(120))
+
+    def test_symmetry(self):
+        assert log2_binomial(20, 7) == pytest.approx(log2_binomial(20, 13))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log2_binomial(3, 4)
+        with pytest.raises(ValueError):
+            log2_binomial(3, -1)
+
+    def test_large_values_stable(self):
+        bits = log2_binomial(10**6, 10**3)
+        assert bits > 0
+        assert math.isfinite(bits)
+
+
+class TestVectorCodeLength:
+    def test_empty_vector_costs_only_count(self):
+        assert vector_code_length(7, 0) == pytest.approx(3.0)
+
+    def test_monotone_toward_half(self):
+        lengths = [vector_code_length(20, k) for k in range(11)]
+        assert lengths == sorted(lengths)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            vector_code_length(-1, 0)
+
+
+class TestDescriptionLength:
+    def test_zero_factors_cost_error_only(self):
+        rng = np.random.default_rng(0)
+        tensor, _ = planted_tensor((8, 8, 8), rank=2, factor_density=0.4, rng=rng)
+        factors = random_factors((8, 8, 8), 2, 0.0, rng)
+        bits = description_length(tensor, factors)
+        # All ones must be encoded as errors.
+        assert bits >= log2_binomial(512, tensor.nnz)
+
+    def test_perfect_factors_have_no_error_term_growth(self):
+        rng = np.random.default_rng(1)
+        tensor, factors = planted_tensor((8, 8, 8), rank=2, factor_density=0.4, rng=rng)
+        perfect = description_length(tensor, factors)
+        model_only = factors_code_length(factors) + vector_code_length(512, 0)
+        assert perfect == pytest.approx(model_only)
+
+    def test_factors_code_length_additive(self):
+        rng = np.random.default_rng(2)
+        factors = random_factors((6, 6, 6), 3, 0.5, rng)
+        total = factors_code_length(factors)
+        per_factor = sum(
+            sum(
+                vector_code_length(f.n_rows, int(f.column(c).sum()))
+                for c in range(f.n_cols)
+            )
+            for f in factors
+        )
+        assert total == pytest.approx(per_factor)
+
+
+class TestSelectRank:
+    def test_identifies_planted_rank_region(self):
+        rng = np.random.default_rng(3)
+        tensor, _ = planted_tensor((24, 24, 24), rank=4, factor_density=0.25, rng=rng)
+        selection = select_rank(tensor, ranks=(1, 4, 10))
+        # Rank 1 underfits (huge error term); rank 10 overfits (model cost);
+        # the planted rank should win.
+        assert selection.best_rank == 4
+
+    def test_custom_factorizer(self):
+        rng = np.random.default_rng(4)
+        tensor, planted = planted_tensor((8, 8, 8), rank=2, factor_density=0.4, rng=rng)
+
+        def perfect_factorizer(data, rank):
+            return planted
+
+        selection = select_rank(tensor, ranks=(2,), factorize=perfect_factorizer)
+        assert selection.best_rank == 2
+        assert selection.candidates[0][1] == 0  # zero error
+
+    def test_empty_ranks_rejected(self):
+        rng = np.random.default_rng(5)
+        tensor, _ = planted_tensor((4, 4, 4), rank=1, factor_density=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            select_rank(tensor, ranks=())
+
+    def test_table_output(self):
+        rng = np.random.default_rng(6)
+        tensor, planted = planted_tensor((8, 8, 8), rank=2, factor_density=0.4, rng=rng)
+        selection = select_rank(tensor, ranks=(2,), factorize=lambda d, r: planted)
+        text = selection.table()
+        assert "<- best" in text
+        assert "rank" in text

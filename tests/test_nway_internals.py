@@ -1,0 +1,85 @@
+"""Unit tests for N-way CP internals (coverage rows, mode updates)."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import packing
+from repro.nway.cp import _coverage_rows, _update_mode
+
+
+class TestCoverageRows:
+    def test_three_way_matches_outer_products(self):
+        rng = np.random.default_rng(0)
+        factors = [
+            (rng.random((4, 2)) < 0.5).astype(np.uint8) for _ in range(3)
+        ]
+        packed = _coverage_rows(factors, mode=0, rank=2)
+        for r in range(2):
+            expected = np.multiply.outer(
+                factors[1][:, r].astype(bool), factors[2][:, r].astype(bool)
+            ).ravel().astype(np.uint8)
+            actual = packing.unpack_bits(packed[r], expected.shape[0])
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_flattening_matches_moveaxis_order(self):
+        # The coverage layout must agree with moveaxis(dense, mode, 0)
+        # followed by a C-order reshape — otherwise errors are garbage.
+        rng = np.random.default_rng(1)
+        factors = [
+            (rng.random((3, 1)) < 0.7).astype(np.uint8) for _ in range(3)
+        ]
+        from repro.nway import nway_reconstruct
+        from repro.bitops import BitMatrix
+
+        tensor = nway_reconstruct(tuple(BitMatrix.from_dense(f) for f in factors))
+        dense = tensor.to_dense()
+        for mode in range(3):
+            unfolded = np.moveaxis(dense, mode, 0).reshape(dense.shape[mode], -1)
+            packed = _coverage_rows(factors, mode=mode, rank=1)
+            coverage = packing.unpack_bits(packed[0], unfolded.shape[1])
+            users = factors[mode][:, 0].astype(bool)
+            # Rows using the component must be covered exactly by it.
+            for row in np.flatnonzero(users):
+                np.testing.assert_array_equal(unfolded[row], coverage)
+
+    def test_two_way_coverage_is_other_factor_column(self):
+        rng = np.random.default_rng(2)
+        factors = [
+            (rng.random((5, 2)) < 0.5).astype(np.uint8) for _ in range(2)
+        ]
+        packed = _coverage_rows(factors, mode=0, rank=2)
+        for r in range(2):
+            actual = packing.unpack_bits(packed[r], 5)
+            np.testing.assert_array_equal(actual, factors[1][:, r])
+
+
+class TestUpdateMode:
+    def test_greedy_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        factors = [
+            (rng.random((4, 2)) < 0.5).astype(np.uint8) for _ in range(3)
+        ]
+        from repro.bitops import BitMatrix
+        from repro.nway import nway_reconstruct
+
+        tensor = nway_reconstruct(tuple(BitMatrix.from_dense(f) for f in factors))
+        dense = tensor.to_dense()
+        unfolded = packing.pack_bits(dense.reshape(4, -1))
+        coverage = _coverage_rows(factors, mode=0, rank=2)
+        start = (rng.random((4, 2)) < 0.5).astype(np.uint8)
+        updated, error = _update_mode(unfolded, start, coverage)
+
+        def brute(a_dense):
+            reconstructed = np.zeros_like(dense, dtype=bool)
+            for r in range(2):
+                block = np.multiply.outer(
+                    np.multiply.outer(
+                        a_dense[:, r].astype(bool), factors[1][:, r].astype(bool)
+                    ),
+                    factors[2][:, r].astype(bool),
+                )
+                reconstructed |= block
+            return int((reconstructed ^ dense.astype(bool)).sum())
+
+        assert error == brute(updated)
+        assert error <= brute(start)

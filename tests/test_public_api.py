@@ -1,0 +1,53 @@
+"""Public-API surface tests: exports exist, __all__ is honest."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.bitops",
+    "repro.tensor",
+    "repro.distengine",
+    "repro.core",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.tucker",
+    "repro.nway",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    """Every public callable/class carries a docstring."""
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        item = getattr(module, name)
+        if callable(item):
+            assert item.__doc__, f"{module_name}.{name} has no docstring"
+
+
+def test_top_level_convenience_exports():
+    import repro
+
+    assert callable(repro.dbtf)
+    assert callable(repro.boolean_tucker)
+    assert callable(repro.planted_tensor)
+    assert repro.__version__
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser, main
+
+    assert callable(main)
+    assert build_parser().prog == "repro"

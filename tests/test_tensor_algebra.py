@@ -1,0 +1,105 @@
+"""Unit tests for Boolean tensor algebra (outer products, reconstruction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import BitMatrix
+from repro.tensor import (
+    outer_product,
+    random_factors,
+    rank_one_coords,
+    reconstruct_dense,
+    tensor_from_factors,
+    validate_factors,
+)
+
+
+class TestOuterProduct:
+    def test_single_entry(self):
+        tensor = outer_product([1, 0], [0, 1], [0, 0, 1])
+        assert tensor.shape == (2, 2, 3)
+        assert tensor.nnz == 1
+        assert (0, 1, 2) in tensor
+
+    def test_full_block(self):
+        tensor = outer_product([1, 1], [1, 1], [1, 1])
+        assert tensor.nnz == 8
+
+    def test_empty_vector_gives_empty_tensor(self):
+        tensor = outer_product([0, 0], [1, 1], [1, 1])
+        assert tensor.nnz == 0
+
+    def test_matches_dense_outer(self):
+        rng = np.random.default_rng(5)
+        a = (rng.random(4) < 0.5).astype(np.uint8)
+        b = (rng.random(5) < 0.5).astype(np.uint8)
+        c = (rng.random(6) < 0.5).astype(np.uint8)
+        expected = np.einsum("i,j,k->ijk", a, b, c)
+        np.testing.assert_array_equal(outer_product(a, b, c).to_dense(), expected)
+
+    def test_rank_one_coords_count(self):
+        coords = rank_one_coords(
+            np.array([1, 1, 0]), np.array([1, 0]), np.array([1, 1, 1])
+        )
+        assert coords.shape == (2 * 1 * 3, 3)
+
+
+class TestTensorFromFactors:
+    def test_boolean_sum_not_integer_sum(self):
+        # Two components covering the same cell must give 1, not 2.
+        a = BitMatrix.from_dense(np.array([[1, 1]], dtype=np.uint8))
+        b = BitMatrix.from_dense(np.array([[1, 1]], dtype=np.uint8))
+        c = BitMatrix.from_dense(np.array([[1, 1]], dtype=np.uint8))
+        tensor = tensor_from_factors((a, b, c))
+        assert tensor.nnz == 1
+
+    def test_matches_dense_reconstruction(self):
+        rng = np.random.default_rng(6)
+        factors = random_factors((4, 5, 6), rank=3, density=0.4, rng=rng)
+        tensor = tensor_from_factors(factors)
+        np.testing.assert_array_equal(tensor.to_dense(), reconstruct_dense(factors))
+
+    def test_rank_mismatch_rejected(self):
+        a = BitMatrix.zeros(2, 3)
+        b = BitMatrix.zeros(2, 2)
+        c = BitMatrix.zeros(2, 3)
+        with pytest.raises(ValueError):
+            tensor_from_factors((a, b, c))
+
+    def test_validate_factors_returns_rank(self):
+        factors = (BitMatrix.zeros(2, 5), BitMatrix.zeros(3, 5), BitMatrix.zeros(4, 5))
+        assert validate_factors(factors) == 5
+
+    def test_zero_factors_give_empty_tensor(self):
+        factors = (BitMatrix.zeros(2, 2), BitMatrix.zeros(3, 2), BitMatrix.zeros(4, 2))
+        assert tensor_from_factors(factors).nnz == 0
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(1, 4),
+        st.integers(0, 999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_property(self, i, j, k, rank, seed):
+        rng = np.random.default_rng(seed)
+        factors = random_factors((i, j, k), rank=rank, density=0.5, rng=rng)
+        sparse = tensor_from_factors(factors)
+        np.testing.assert_array_equal(sparse.to_dense(), reconstruct_dense(factors))
+
+    @given(st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_boolean_rank_monotonicity(self, seed):
+        # Adding components can only add nonzeros (Boolean sum is monotone).
+        rng = np.random.default_rng(seed)
+        factors = random_factors((4, 4, 4), rank=4, density=0.4, rng=rng)
+        full = tensor_from_factors(factors)
+
+        def truncate(matrix, rank):
+            return BitMatrix.from_dense(matrix.to_dense()[:, :rank])
+
+        partial = tensor_from_factors(tuple(truncate(f, 2) for f in factors))
+        assert partial.minus(full).nnz == 0

@@ -1,0 +1,39 @@
+"""Unit tests for factor-triple persistence."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import load_factors, random_factors, save_factors
+
+
+class TestFactorsIO:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        factors = random_factors((6, 7, 8), rank=3, density=0.4, rng=rng)
+        save_factors(factors, tmp_path / "factors")
+        loaded = load_factors(tmp_path / "factors")
+        assert loaded == factors
+
+    def test_creates_directory(self, tmp_path):
+        rng = np.random.default_rng(1)
+        factors = random_factors((3, 3, 3), rank=1, density=0.5, rng=rng)
+        target = tmp_path / "deep" / "nested"
+        save_factors(factors, target)
+        assert (target / "A.mtx").exists()
+        assert (target / "B.mtx").exists()
+        assert (target / "C.mtx").exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_factors(tmp_path)
+
+    def test_decomposition_survives_round_trip(self, tmp_path):
+        from repro import dbtf, planted_tensor
+        from repro.metrics import reconstruction_error
+
+        rng = np.random.default_rng(2)
+        tensor, _ = planted_tensor((12, 12, 12), rank=2, factor_density=0.3, rng=rng)
+        result = dbtf(tensor, rank=2, seed=0, n_partitions=2)
+        save_factors(result.factors, tmp_path / "run")
+        loaded = load_factors(tmp_path / "run")
+        assert reconstruction_error(tensor, loaded) == result.error

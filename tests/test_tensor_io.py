@@ -1,0 +1,47 @@
+"""Unit tests for tensor text I/O."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import SparseBoolTensor, load_tensor, random_tensor, save_tensor
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        tensor = random_tensor((6, 7, 8), density=0.1, rng=rng)
+        path = tmp_path / "tensor.tns"
+        save_tensor(tensor, path)
+        assert load_tensor(path) == tensor
+
+    def test_empty_tensor_round_trip(self, tmp_path):
+        tensor = SparseBoolTensor.empty((3, 4, 5))
+        path = tmp_path / "empty.tns"
+        save_tensor(tensor, path)
+        loaded = load_tensor(path)
+        assert loaded == tensor
+        assert loaded.shape == (3, 4, 5)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "hand.tns"
+        path.write_text("# shape 2 2 2\n\n# a comment\n0 0 0\n1 1 1\n")
+        tensor = load_tensor(path)
+        assert tensor.nnz == 2
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("0 0 0\n")
+        with pytest.raises(ValueError):
+            load_tensor(path)
+
+    def test_wrong_arity_rejected(self, tmp_path):
+        path = tmp_path / "bad2.tns"
+        path.write_text("# shape 2 2 2\n0 0\n")
+        with pytest.raises(ValueError):
+            load_tensor(path)
+
+    def test_out_of_bounds_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "bad3.tns"
+        path.write_text("# shape 2 2 2\n0 0 5\n")
+        with pytest.raises(ValueError):
+            load_tensor(path)

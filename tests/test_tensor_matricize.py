@@ -1,0 +1,110 @@
+"""Unit tests for mode-n matricization (Eq. 1 and Eq. 12 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import BitMatrix, boolean_matmul, khatri_rao
+from repro.tensor import (
+    MODE_FACTOR_ROLES,
+    SparseBoolTensor,
+    fold,
+    random_factors,
+    tensor_from_factors,
+    unfold,
+)
+
+
+def random_tensor_dense(shape, seed, density=0.3):
+    rng = np.random.default_rng(seed)
+    return (rng.random(shape) < density).astype(np.uint8)
+
+
+def reference_unfold(dense, mode):
+    """Straight transcription of Eq. (1), 0-based."""
+    I, J, K = dense.shape
+    if mode == 0:
+        out = np.zeros((I, J * K), dtype=np.uint8)
+        for i, j, k in np.argwhere(dense):
+            out[i, j + k * J] = 1
+    elif mode == 1:
+        out = np.zeros((J, I * K), dtype=np.uint8)
+        for i, j, k in np.argwhere(dense):
+            out[j, i + k * I] = 1
+    else:
+        out = np.zeros((K, I * J), dtype=np.uint8)
+        for i, j, k in np.argwhere(dense):
+            out[k, i + j * I] = 1
+    return out
+
+
+class TestUnfold:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_equation_one(self, mode):
+        dense = random_tensor_dense((3, 4, 5), seed=mode)
+        tensor = SparseBoolTensor.from_dense(dense)
+        unfolding = unfold(tensor, mode)
+        np.testing.assert_array_equal(
+            unfolding.to_dense(), reference_unfold(dense, mode)
+        )
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_shape_metadata(self, mode):
+        tensor = SparseBoolTensor.empty((3, 4, 5))
+        unfolding = unfold(tensor, mode)
+        expected_rows = (3, 4, 5)[mode]
+        assert unfolding.n_rows == expected_rows
+        assert unfolding.n_cols == 3 * 4 * 5 // expected_rows
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            unfold(SparseBoolTensor.empty((2, 2, 2)), 3)
+
+    def test_non_three_way_rejected(self):
+        with pytest.raises(ValueError):
+            unfold(SparseBoolTensor.empty((2, 2)), 0)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_fold_inverts_unfold(self, mode):
+        dense = random_tensor_dense((4, 3, 6), seed=10 + mode)
+        tensor = SparseBoolTensor.from_dense(dense)
+        assert fold(unfold(tensor, mode)) == tensor
+
+    @given(
+        st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)),
+        st.integers(0, 2),
+        st.integers(0, 999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unfold_fold_property(self, shape, mode, seed):
+        dense = random_tensor_dense(shape, seed)
+        tensor = SparseBoolTensor.from_dense(dense)
+        assert fold(unfold(tensor, mode)) == tensor
+
+
+class TestMatricizedDecomposition:
+    """X_(n) must equal target ∘ (outer ⊙ inner)^T exactly for noise-free
+    factor tensors (Eq. 12)."""
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_exact_reconstruction_in_matricized_form(self, mode):
+        rng = np.random.default_rng(17)
+        factors = random_factors((4, 5, 6), rank=3, density=0.4, rng=rng)
+        tensor = tensor_from_factors(factors)
+        target_index, outer_index, inner_index = MODE_FACTOR_ROLES[mode]
+        kr_product = khatri_rao(factors[outer_index], factors[inner_index])
+        reconstructed = boolean_matmul(factors[target_index], kr_product.transpose())
+        np.testing.assert_array_equal(
+            unfold(tensor, mode).to_dense(), reconstructed.to_dense()
+        )
+
+    def test_block_structure(self):
+        # Block b of the unfolding corresponds to outer-mode index b.
+        dense = np.zeros((2, 3, 4), dtype=np.uint8)
+        dense[1, 2, 3] = 1
+        unfolding = unfold(SparseBoolTensor.from_dense(dense), 0)
+        assert unfolding.rows.tolist() == [1]
+        assert unfolding.block_ids.tolist() == [3]  # k
+        assert unfolding.offsets.tolist() == [2]  # j
+        assert unfolding.columns().tolist() == [2 + 3 * 3]

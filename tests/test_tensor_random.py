@@ -1,0 +1,140 @@
+"""Unit tests for random tensor/factor generation and the noise models."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    add_additive_noise,
+    add_destructive_noise,
+    planted_tensor,
+    random_factors,
+    random_tensor,
+    tensor_from_factors,
+)
+
+
+class TestRandomTensor:
+    def test_density_is_exact(self):
+        rng = np.random.default_rng(0)
+        tensor = random_tensor((10, 10, 10), density=0.05, rng=rng)
+        assert tensor.nnz == 50
+
+    def test_zero_density(self):
+        rng = np.random.default_rng(0)
+        assert random_tensor((4, 4, 4), density=0.0, rng=rng).nnz == 0
+
+    def test_full_density(self):
+        rng = np.random.default_rng(0)
+        assert random_tensor((3, 3, 3), density=1.0, rng=rng).nnz == 27
+
+    def test_invalid_density(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_tensor((2, 2, 2), density=-0.1, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        first = random_tensor((5, 5, 5), 0.2, np.random.default_rng(7))
+        second = random_tensor((5, 5, 5), 0.2, np.random.default_rng(7))
+        assert first == second
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        rng = np.random.default_rng(1)
+        a, b, c = random_factors((4, 5, 6), rank=3, density=0.5, rng=rng)
+        assert a.shape == (4, 3)
+        assert b.shape == (5, 3)
+        assert c.shape == (6, 3)
+
+    def test_invalid_rank(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            random_factors((2, 2, 2), rank=0, density=0.5, rng=rng)
+
+
+class TestAdditiveNoise:
+    def test_adds_expected_count(self):
+        rng = np.random.default_rng(2)
+        tensor = random_tensor((10, 10, 10), density=0.1, rng=rng)
+        noisy = add_additive_noise(tensor, 0.10, rng)
+        assert noisy.nnz == tensor.nnz + round(0.10 * tensor.nnz)
+
+    def test_original_entries_preserved(self):
+        rng = np.random.default_rng(3)
+        tensor = random_tensor((8, 8, 8), density=0.1, rng=rng)
+        noisy = add_additive_noise(tensor, 0.2, rng)
+        assert tensor.minus(noisy).nnz == 0
+
+    def test_zero_level_is_copy(self):
+        rng = np.random.default_rng(4)
+        tensor = random_tensor((4, 4, 4), density=0.2, rng=rng)
+        noisy = add_additive_noise(tensor, 0.0, rng)
+        assert noisy == tensor
+        assert noisy is not tensor
+
+    def test_negative_level_rejected(self):
+        rng = np.random.default_rng(4)
+        tensor = random_tensor((4, 4, 4), 0.2, rng)
+        with pytest.raises(ValueError):
+            add_additive_noise(tensor, -0.1, rng)
+
+    def test_overfull_rejected(self):
+        rng = np.random.default_rng(5)
+        tensor = random_tensor((3, 3, 3), density=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            add_additive_noise(tensor, 0.5, rng)
+
+    def test_reference_nnz_override(self):
+        rng = np.random.default_rng(6)
+        tensor = random_tensor((10, 10, 10), density=0.05, rng=rng)
+        noisy = add_additive_noise(tensor, 0.1, rng, reference_nnz=100)
+        assert noisy.nnz == tensor.nnz + 10
+
+
+class TestDestructiveNoise:
+    def test_removes_expected_count(self):
+        rng = np.random.default_rng(7)
+        tensor = random_tensor((10, 10, 10), density=0.1, rng=rng)
+        noisy = add_destructive_noise(tensor, 0.05, rng)
+        assert noisy.nnz == tensor.nnz - round(0.05 * tensor.nnz)
+
+    def test_no_new_entries(self):
+        rng = np.random.default_rng(8)
+        tensor = random_tensor((8, 8, 8), density=0.1, rng=rng)
+        noisy = add_destructive_noise(tensor, 0.3, rng)
+        assert noisy.minus(tensor).nnz == 0
+
+    def test_level_capped_at_all_entries(self):
+        rng = np.random.default_rng(9)
+        tensor = random_tensor((3, 3, 3), density=0.5, rng=rng)
+        noisy = add_destructive_noise(tensor, 5.0, rng)
+        assert noisy.nnz == 0
+
+    def test_negative_level_rejected(self):
+        rng = np.random.default_rng(9)
+        tensor = random_tensor((3, 3, 3), 0.5, rng)
+        with pytest.raises(ValueError):
+            add_destructive_noise(tensor, -0.1, rng)
+
+
+class TestPlantedTensor:
+    def test_noise_free_matches_factors(self):
+        rng = np.random.default_rng(10)
+        tensor, factors = planted_tensor((8, 8, 8), rank=3, factor_density=0.3, rng=rng)
+        assert tensor == tensor_from_factors(factors)
+
+    def test_additive_noise_grows_tensor(self):
+        rng = np.random.default_rng(11)
+        noisy, factors = planted_tensor(
+            (10, 10, 10), rank=3, factor_density=0.3, rng=rng, additive_noise=0.1
+        )
+        clean = tensor_from_factors(factors)
+        assert noisy.nnz == clean.nnz + round(0.1 * clean.nnz)
+
+    def test_destructive_noise_shrinks_tensor(self):
+        rng = np.random.default_rng(12)
+        noisy, factors = planted_tensor(
+            (10, 10, 10), rank=3, factor_density=0.3, rng=rng, destructive_noise=0.1
+        )
+        clean = tensor_from_factors(factors)
+        assert noisy.nnz == clean.nnz - round(0.1 * clean.nnz)

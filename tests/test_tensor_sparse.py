@@ -1,0 +1,187 @@
+"""Unit tests for SparseBoolTensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import SparseBoolTensor
+
+
+def random_dense_tensor(shape, seed, density=0.3):
+    rng = np.random.default_rng(seed)
+    return (rng.random(shape) < density).astype(np.uint8)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tensor = SparseBoolTensor.empty((2, 3, 4))
+        assert tensor.nnz == 0
+        assert tensor.shape == (2, 3, 4)
+        assert tensor.density() == 0.0
+
+    def test_from_dense_round_trip(self):
+        dense = random_dense_tensor((4, 5, 6), seed=1)
+        tensor = SparseBoolTensor.from_dense(dense)
+        np.testing.assert_array_equal(tensor.to_dense(), dense)
+        assert tensor.nnz == int(dense.sum())
+
+    def test_from_nonzeros(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0), (1, 1, 1)])
+        assert tensor.nnz == 2
+        assert (0, 0, 0) in tensor
+        assert (1, 1, 1) in tensor
+        assert (0, 1, 0) not in tensor
+
+    def test_duplicates_collapse(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0), (0, 0, 0)])
+        assert tensor.nnz == 1
+
+    def test_coords_sorted(self):
+        tensor = SparseBoolTensor.from_nonzeros((3, 3, 3), [(2, 0, 0), (0, 1, 2)])
+        np.testing.assert_array_equal(tensor.coords[0], [0, 1, 2])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor.from_nonzeros((2, 2, 2), [(2, 0, 0)])
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor((2, 2), np.array([[-1, 0]]))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor((-1, 2))
+
+    def test_zero_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor(())
+
+    def test_bad_coords_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor((2, 2, 2), np.array([[0, 0]]))
+
+
+class TestProperties:
+    def test_density(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0), (1, 1, 1)])
+        assert tensor.density() == pytest.approx(2 / 8)
+
+    def test_frobenius_norm_is_sqrt_nnz(self):
+        tensor = SparseBoolTensor.from_nonzeros((3, 3, 3), [(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+        assert tensor.frobenius_norm() == pytest.approx(np.sqrt(3))
+
+    def test_contains_validates_arity(self):
+        tensor = SparseBoolTensor.empty((2, 2, 2))
+        with pytest.raises(ValueError):
+            (0, 0) in tensor
+
+    def test_contains_validates_bounds(self):
+        tensor = SparseBoolTensor.empty((2, 2, 2))
+        with pytest.raises(IndexError):
+            (0, 0, 5) in tensor
+
+
+class TestSetAlgebra:
+    def setup_method(self):
+        self.left_dense = random_dense_tensor((4, 4, 4), seed=2)
+        self.right_dense = random_dense_tensor((4, 4, 4), seed=3)
+        self.left = SparseBoolTensor.from_dense(self.left_dense)
+        self.right = SparseBoolTensor.from_dense(self.right_dense)
+
+    def test_boolean_or(self):
+        result = self.left.boolean_or(self.right)
+        np.testing.assert_array_equal(
+            result.to_dense(), self.left_dense | self.right_dense
+        )
+
+    def test_boolean_and(self):
+        result = self.left.boolean_and(self.right)
+        np.testing.assert_array_equal(
+            result.to_dense(), self.left_dense & self.right_dense
+        )
+
+    def test_xor(self):
+        result = self.left.xor(self.right)
+        np.testing.assert_array_equal(
+            result.to_dense(), self.left_dense ^ self.right_dense
+        )
+
+    def test_minus(self):
+        result = self.left.minus(self.right)
+        np.testing.assert_array_equal(
+            result.to_dense(), self.left_dense & ~self.right_dense & 1
+        )
+
+    def test_hamming_distance(self):
+        expected = int((self.left_dense != self.right_dense).sum())
+        assert self.left.hamming_distance(self.right) == expected
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self.left.boolean_or(SparseBoolTensor.empty((4, 4, 5)))
+
+    def test_or_identity_is_empty(self):
+        empty = SparseBoolTensor.empty(self.left.shape)
+        assert self.left.boolean_or(empty) == self.left
+
+    def test_xor_self_is_empty(self):
+        assert self.left.xor(self.left).nnz == 0
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_de_morgan_via_counts(self, seed_a, seed_b):
+        left = SparseBoolTensor.from_dense(random_dense_tensor((3, 3, 3), seed_a))
+        right = SparseBoolTensor.from_dense(random_dense_tensor((3, 3, 3), seed_b))
+        union = left.boolean_or(right).nnz
+        intersection = left.boolean_and(right).nnz
+        assert union + intersection == left.nnz + right.nnz
+
+
+class TestSlicing:
+    def test_mode_slice(self):
+        dense = random_dense_tensor((3, 4, 5), seed=4)
+        tensor = SparseBoolTensor.from_dense(dense)
+        for mode, size in enumerate(tensor.shape):
+            for index in range(size):
+                fiber = tensor.mode_slice(mode, index)
+                expected = np.take(dense, index, axis=mode)
+                np.testing.assert_array_equal(fiber.to_dense(), expected)
+
+    def test_mode_slice_bounds(self):
+        tensor = SparseBoolTensor.empty((2, 2, 2))
+        with pytest.raises(ValueError):
+            tensor.mode_slice(3, 0)
+        with pytest.raises(IndexError):
+            tensor.mode_slice(0, 2)
+
+    def test_mode_indices(self):
+        tensor = SparseBoolTensor.from_nonzeros((5, 5, 5), [(0, 1, 2), (3, 1, 2)])
+        np.testing.assert_array_equal(tensor.mode_indices(0), [0, 3])
+        np.testing.assert_array_equal(tensor.mode_indices(1), [1])
+
+    def test_mode_indices_bounds(self):
+        with pytest.raises(ValueError):
+            SparseBoolTensor.empty((2, 2, 2)).mode_indices(5)
+
+
+class TestDunder:
+    def test_equality(self):
+        dense = random_dense_tensor((2, 3, 2), seed=5)
+        assert SparseBoolTensor.from_dense(dense) == SparseBoolTensor.from_dense(dense)
+
+    def test_inequality_other_type(self):
+        assert SparseBoolTensor.empty((1, 1)) != 42
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(SparseBoolTensor.empty((1, 1)))
+
+    def test_repr(self):
+        assert "nnz=0" in repr(SparseBoolTensor.empty((2, 2)))
+
+    def test_copy_independent(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0)])
+        clone = tensor.copy()
+        clone.coords[0, 0] = 1
+        assert tensor.coords[0, 0] == 0

@@ -1,0 +1,45 @@
+"""Extra matricization tests: Unfolding metadata and columns()."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import SparseBoolTensor, unfold
+
+
+class TestUnfoldingColumns:
+    def test_columns_formula(self):
+        tensor = SparseBoolTensor.from_nonzeros(
+            (3, 4, 5), [(0, 1, 2), (2, 3, 4), (1, 0, 0)]
+        )
+        unfolding = unfold(tensor, 0)
+        # column = j + k * J
+        expected = {
+            (0, 1 + 2 * 4),
+            (2, 3 + 4 * 4),
+            (1, 0),
+        }
+        actual = set(zip(unfolding.rows.tolist(), unfolding.columns().tolist()))
+        assert actual == expected
+
+    def test_nnz_property(self):
+        tensor = SparseBoolTensor.from_nonzeros((2, 2, 2), [(0, 0, 0), (1, 1, 1)])
+        assert unfold(tensor, 1).nnz == 2
+
+    def test_columns_within_bounds(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((4, 5, 6)) < 0.4).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        for mode in range(3):
+            unfolding = unfold(tensor, mode)
+            columns = unfolding.columns()
+            assert (columns >= 0).all()
+            assert (columns < unfolding.n_cols).all()
+
+    def test_dense_roundtrip_via_columns(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((3, 4, 2)) < 0.5).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        unfolding = unfold(tensor, 2)
+        rebuilt = np.zeros((unfolding.n_rows, unfolding.n_cols), dtype=np.uint8)
+        rebuilt[unfolding.rows, unfolding.columns()] = 1
+        np.testing.assert_array_equal(rebuilt, unfolding.to_dense())
