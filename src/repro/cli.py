@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="DBTF's N parameter")
     factorize.add_argument("--density-threshold", type=float, default=0.9,
                            help="Walk'n'Merge's t parameter")
+    factorize.add_argument("--backend", choices=["serial", "thread", "process"],
+                           default="serial",
+                           help="host-side stage executor for dbtf/nway-cp "
+                                "(results are identical; a parallel backend "
+                                "uses more cores)")
+    factorize.add_argument("--workers", type=int, default=None,
+                           help="worker-pool size for --backend thread/process "
+                                "(default: all cores)")
     factorize.add_argument("--seed", type=int, default=0)
     factorize.add_argument("--factors-out", default=None,
                            help="directory for A.mtx/B.mtx/C.mtx")
@@ -150,8 +158,11 @@ def _command_factorize(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             n_initial_sets=args.initial_sets,
             n_partitions=args.partitions,
+            backend=args.backend,
+            n_workers=args.workers,
         )
-        print(f"method         : DBTF (simulated {result.report.n_machines} machines)")
+        print(f"method         : DBTF (simulated {result.report.n_machines} machines, "
+              f"{args.backend} backend)")
         print(f"simulated time : {result.report.simulated_time:.2f} s")
     elif args.method == "bcp-als":
         from .baselines import bcp_als
@@ -179,6 +190,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 max_iterations=args.max_iterations,
                 n_initial_sets=args.initial_sets,
                 seed=args.seed,
+                backend=args.backend,
+                n_workers=args.workers,
             ),
         )
         print(f"method         : N-way Boolean CP ({tensor.ndim} modes)")

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from ..distengine import DEFAULT_CLUSTER, ClusterConfig
+from ..distengine import BACKEND_NAMES, DEFAULT_CLUSTER, ClusterConfig
 
 __all__ = ["DbtfConfig"]
 
@@ -54,6 +54,14 @@ class DbtfConfig:
         Seed for all randomness; runs are bit-for-bit reproducible.
     cluster:
         The simulated cluster the decomposition is metered against.
+    backend:
+        Host-side stage executor: ``"serial"``, ``"thread"``, or
+        ``"process"``.  ``None`` (default) defers to ``cluster.backend``.
+        Factors, error traces, and all metered costs are identical under
+        every backend; only the host's wall-clock time changes.
+    n_workers:
+        Worker-pool size for the thread/process backends; ``None`` defers
+        to ``cluster.n_workers`` (and ultimately the host's CPU count).
     """
 
     rank: int
@@ -66,6 +74,8 @@ class DbtfConfig:
     init_density: float | None = None
     seed: int = 0
     cluster: ClusterConfig = DEFAULT_CLUSTER
+    backend: str | None = None
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -98,9 +108,27 @@ class DbtfConfig:
             raise ValueError(
                 f"init_density must be in (0, 1], got {self.init_density}"
             )
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.n_workers is not None and self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
 
     def resolved_partitions(self) -> int:
         """The effective partition count N."""
         if self.n_partitions is not None:
             return self.n_partitions
         return self.cluster.total_slots
+
+    def resolved_cluster(self) -> ClusterConfig:
+        """``cluster`` with this config's backend overrides applied."""
+        if self.backend is None and self.n_workers is None:
+            return self.cluster
+        return replace(
+            self.cluster,
+            backend=self.backend if self.backend is not None else self.cluster.backend,
+            n_workers=(
+                self.n_workers if self.n_workers is not None else self.cluster.n_workers
+            ),
+        )

@@ -191,35 +191,43 @@ def dbtf(
         config = DbtfConfig(rank=rank, **overrides)
     elif overrides:
         raise ValueError("pass either config or overrides, not both")
+    owns_runtime = runtime is None
     if runtime is None:
-        runtime = SimulatedRuntime(config.cluster)
+        runtime = SimulatedRuntime(config.resolved_cluster())
 
-    rng = np.random.default_rng(config.seed)
-    mode_rdds = prepare_partitioned_unfoldings(
-        tensor, config.resolved_partitions(), runtime
-    )
+    try:
+        rng = np.random.default_rng(config.seed)
+        mode_rdds = prepare_partitioned_unfoldings(
+            tensor, config.resolved_partitions(), runtime
+        )
 
-    # First iteration: try L initializations, keep the best (lines 5-8).
-    candidates = [
-        _initial_factors(tensor, config, rng) for _ in range(config.n_initial_sets)
-    ]
-    best_factors, best_error = None, None
-    for candidate in candidates:
-        updated, error = _update_all_factors(mode_rdds, candidate, config, runtime)
-        if best_error is None or error < best_error:
-            best_factors, best_error = updated, error
-    factors, error = best_factors, best_error
+        # First iteration: try L initializations, keep the best (lines 5-8).
+        candidates = [
+            _initial_factors(tensor, config, rng)
+            for _ in range(config.n_initial_sets)
+        ]
+        best_factors, best_error = None, None
+        for candidate in candidates:
+            updated, error = _update_all_factors(mode_rdds, candidate, config, runtime)
+            if best_error is None or error < best_error:
+                best_factors, best_error = updated, error
+        factors, error = best_factors, best_error
 
-    errors = [error]
-    converged = False
-    threshold = config.tolerance * max(tensor.nnz, 1)
-    for _ in range(1, config.max_iterations):
-        factors, error = _update_all_factors(mode_rdds, factors, config, runtime)
-        improvement = errors[-1] - error
-        errors.append(error)
-        if improvement <= threshold:
-            converged = True
-            break
+        errors = [error]
+        converged = False
+        threshold = config.tolerance * max(tensor.nnz, 1)
+        for _ in range(1, config.max_iterations):
+            factors, error = _update_all_factors(mode_rdds, factors, config, runtime)
+            improvement = errors[-1] - error
+            errors.append(error)
+            if improvement <= threshold:
+                converged = True
+                break
+    finally:
+        # Only tear down worker pools we created; a caller-supplied runtime
+        # may still have stages to run (and metering to read).
+        if owns_runtime:
+            runtime.close()
 
     return DecompositionResult(
         factors=factors,

@@ -127,6 +127,50 @@ def _masks_with_bit_cleared(words: np.ndarray, column: int) -> np.ndarray:
     return masks
 
 
+class _BuildCachedPartition:
+    """Stage payload: attach the row-summation cache to each partition.
+
+    A module-level callable whose broadcast values (the inner factor and
+    the V threshold) ride along as attributes, so the payload pickles to
+    process-pool workers — the engine's equivalent of referencing a Spark
+    broadcast variable instead of capturing a driver local.
+    """
+
+    __slots__ = ("inner", "group_size")
+
+    def __init__(self, inner: BitMatrix, group_size: int):
+        self.inner = inner
+        self.group_size = group_size
+
+    def __call__(self, data) -> CachedPartition:
+        return CachedPartition(data, RowSummationCache(self.inner, self.group_size))
+
+
+class _ColumnErrorsTask:
+    """Stage payload: one column's per-partition error evaluation."""
+
+    __slots__ = (
+        "masks_if_zero",
+        "outer_words",
+        "outer_column",
+        "inner_column_words",
+    )
+
+    def __init__(self, masks_if_zero, outer_words, outer_column, inner_column_words):
+        self.masks_if_zero = masks_if_zero
+        self.outer_words = outer_words
+        self.outer_column = outer_column
+        self.inner_column_words = inner_column_words
+
+    def __call__(self, cached: CachedPartition):
+        return cached.column_errors(
+            self.masks_if_zero,
+            self.outer_words,
+            self.outer_column,
+            self.inner_column_words,
+        )
+
+
 def update_factor(
     data_rdd: Distributed,
     target: BitMatrix,
@@ -154,7 +198,7 @@ def update_factor(
     # builds identical full tables plus its own block slices — exactly what
     # each Spark executor would do locally.
     cached_rdd = data_rdd.map(
-        lambda data: CachedPartition(data, RowSummationCache(inner, config.cache_group_size)),
+        _BuildCachedPartition(inner, config.cache_group_size),
         name="cacheRowSummations",
     )
 
@@ -164,13 +208,12 @@ def update_factor(
     # width — the coverage component c adds inside an active block.
     inner_columns = inner.transpose().words
     for column in range(config.rank):
-        masks_if_zero = _masks_with_bit_cleared(updated.words, column)
-        outer_words = outer.words
-        outer_column = outer.column(column)
-        inner_column_words = inner_columns[column]
         per_partition = cached_rdd.map(
-            lambda cp: cp.column_errors(
-                masks_if_zero, outer_words, outer_column, inner_column_words
+            _ColumnErrorsTask(
+                _masks_with_bit_cleared(updated.words, column),
+                outer.words,
+                outer.column(column),
+                inner_columns[column],
             ),
             name="columnErrors",
         ).collect(name="collectColumnErrors")

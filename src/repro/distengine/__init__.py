@@ -1,14 +1,28 @@
 """Simulated distributed engine (the offline Spark stand-in)."""
 
+from .backends import (
+    BACKEND_NAMES,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
 from .rdd import Distributed
 from .runtime import ExecutionReport, SimulatedRuntime, StageReport
 from .scheduler import assign_tasks, makespan
-from .shuffle import ShuffleLedger, TransferKind, estimate_bytes
+from .shuffle import ShuffleLedger, TransferKind, estimate_bytes, stable_hash
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "Broadcast",
     "FaultInjector",
     "InjectedTaskFailure",
@@ -22,6 +36,7 @@ __all__ = [
     "ShuffleLedger",
     "TransferKind",
     "estimate_bytes",
+    "stable_hash",
     "makespan",
     "assign_tasks",
 ]

@@ -1,0 +1,128 @@
+"""The stage-executor seam: where partition tasks actually run.
+
+A :class:`Backend` executes one *stage* — one task per partition — and
+returns, per task, the produced partition, the measured duration, and how
+many injected fault retries the task survived.  Everything the cost model
+consumes (per-task durations, failure counts, shuffle bytes) is measured
+*inside* the task, so the numbers are identical whether tasks run
+sequentially, on a thread pool, or on a process pool: the replayed
+``simulated_time`` is backend-invariant while the host's wall-clock time is
+not.  See DESIGN.md "Execution backends".
+
+Fault-injection retries live inside :func:`execute_task` (i.e. inside the
+worker) rather than in the driver loop, so failure counts aggregate
+correctly even when tasks of one stage finish out of order.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..faults import FaultInjector, TaskFailedError
+
+__all__ = ["BACKEND_NAMES", "Backend", "TaskOutcome", "StageResult", "execute_task"]
+
+#: Names accepted by ``make_backend`` / ``ClusterConfig.backend``.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: ``fn(partition_index, items) -> iterable`` — the unit of distributed work.
+TaskFn = Callable[[int, list], Iterable[Any]]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What one partition task reports back to the driver."""
+
+    index: int
+    result: list
+    duration: float
+    failures: int
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Per-task outputs of one stage, ordered by partition index."""
+
+    results: list[list]
+    durations: list[float]
+    failure_counts: list[int]
+
+    def __iter__(self):
+        return iter((self.results, self.durations, self.failure_counts))
+
+
+def execute_task(
+    task_fn: TaskFn,
+    stage_name: str,
+    index: int,
+    items: list,
+    injector: FaultInjector | None,
+) -> TaskOutcome:
+    """Run one partition task, timing each attempt and retrying faults.
+
+    This is the function every backend ships to its workers (it must stay
+    module-level so :class:`ProcessBackend` can pickle it).  With a fault
+    injector, attempts chosen by the injector fail *after* doing their work
+    — the lost attempt's duration still counts toward the stage, as on a
+    real cluster — and the task retries up to the injector's budget before
+    raising :class:`TaskFailedError`.
+    """
+    task_time = 0.0
+    attempt = 0
+    failures = 0
+    while True:
+        started = time.perf_counter()
+        result = list(task_fn(index, items))
+        task_time += time.perf_counter() - started
+        failed = injector is not None and injector.should_fail(
+            stage_name, index, attempt
+        )
+        if not failed:
+            return TaskOutcome(index, result, task_time, failures)
+        failures += 1
+        attempt += 1
+        if attempt > injector.max_retries:
+            raise TaskFailedError(
+                f"task {index} of stage {stage_name!r} failed {attempt} times"
+            )
+
+
+class Backend(ABC):
+    """Executes the tasks of one stage and reports measured outcomes.
+
+    Implementations must preserve two invariants that make backends
+    interchangeable under the cost model:
+
+    * results, durations, and failure counts come back ordered by partition
+      index, regardless of completion order;
+    * timing and fault retries happen inside :func:`execute_task`, so the
+      metered numbers do not depend on scheduling.
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def run_stage(
+        self,
+        stage_name: str,
+        task_fn: TaskFn,
+        indexed_partitions: Sequence[tuple[int, list]],
+        fault_injector: FaultInjector | None = None,
+    ) -> StageResult:
+        """Run ``task_fn`` over every ``(index, items)`` pair."""
+
+    def close(self) -> None:
+        """Release worker resources; the backend is reusable until closed."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -9,7 +9,9 @@ cluster size (see :mod:`repro.distengine.scheduler`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+from .backends import BACKEND_NAMES
 
 __all__ = ["ClusterConfig", "DEFAULT_CLUSTER"]
 
@@ -37,6 +39,17 @@ class ClusterConfig:
         per-column errors, updating the column — which no amount of workers
         parallelizes.  This serial fraction is why the paper's Fig. 7
         speed-up is sublinear (2.2x from 4 to 16 machines).
+    backend:
+        How partition tasks *actually execute on the host*: ``"serial"``
+        (inline, the default), ``"thread"``, or ``"process"`` (real
+        multi-core parallelism).  The cost model above is backend-invariant
+        — it consumes measured per-task durations, not wall-clock order —
+        so this only changes how fast the host finishes, never the
+        simulated measurements.
+    n_workers:
+        Worker-pool size for the thread/process backends (``None`` uses
+        the host's CPU count).  Unrelated to ``n_machines``, which is the
+        *simulated* cluster size.
     """
 
     n_machines: int = 16
@@ -44,6 +57,8 @@ class ClusterConfig:
     network_bytes_per_sec: float = 1.0e9
     task_launch_overhead_sec: float = 0.004
     driver_latency_sec: float = 0.003
+    backend: str = "serial"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -58,6 +73,12 @@ class ClusterConfig:
             raise ValueError("task_launch_overhead_sec must be non-negative")
         if self.driver_latency_sec < 0:
             raise ValueError("driver_latency_sec must be non-negative")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.n_workers is not None and self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
 
     @property
     def total_slots(self) -> int:
@@ -66,13 +87,13 @@ class ClusterConfig:
 
     def with_machines(self, n_machines: int) -> "ClusterConfig":
         """The same cluster with a different machine count."""
-        return ClusterConfig(
-            n_machines=n_machines,
-            cores_per_machine=self.cores_per_machine,
-            network_bytes_per_sec=self.network_bytes_per_sec,
-            task_launch_overhead_sec=self.task_launch_overhead_sec,
-            driver_latency_sec=self.driver_latency_sec,
-        )
+        return replace(self, n_machines=n_machines)
+
+    def with_backend(
+        self, backend: str, n_workers: int | None = None
+    ) -> "ClusterConfig":
+        """The same cluster executing its stages on a different backend."""
+        return replace(self, backend=backend, n_workers=n_workers)
 
 
 DEFAULT_CLUSTER = ClusterConfig()

@@ -1,33 +1,128 @@
 """A partitioned, Spark-like distributed collection.
 
 :class:`Distributed` is the engine's RDD analogue.  Transformations execute
-eagerly, one task per partition; each task is timed and reported to the
-owning runtime so a stage's duration can later be replayed under any cluster
-size.  Wide operations (``combine_by_key``) move data between partitions and
-charge the shuffle ledger, narrow ones (``map``/``map_partitions``) do not —
-the same distinction Spark draws.
+eagerly, one task per partition; every task runs through the runtime's
+:class:`~repro.distengine.backends.Backend` (the stage-executor seam), which
+times it and reports to the owning runtime so a stage's duration can later
+be replayed under any cluster size.  Wide operations (``combine_by_key``)
+move data between partitions and charge the shuffle ledger, narrow ones
+(``map``/``map_partitions``) do not — the same distinction Spark draws.
+
+All stage payloads here are module-level callables holding their captured
+values as attributes, so they stay picklable and every transformation works
+unchanged under the process backend (provided the user-supplied functions
+are themselves picklable).
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Iterable
 from typing import Any
 
-from .faults import TaskFailedError
-from .shuffle import TransferKind, estimate_bytes
+from .shuffle import TransferKind, estimate_bytes, stable_hash
 
 __all__ = ["Distributed"]
 
 
+class _ElementTask:
+    """``map`` payload: apply ``fn`` to every element of a partition."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, _index: int, items: list[Any]) -> list[Any]:
+        return [self.fn(item) for item in items]
+
+
+class _FilterTask:
+    """``filter`` payload: keep the elements satisfying ``predicate``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[Any], bool]):
+        self.predicate = predicate
+
+    def __call__(self, _index: int, items: list[Any]) -> list[Any]:
+        return [item for item in items if self.predicate(item)]
+
+
+class _PartitionTask:
+    """``map_partitions`` payload: apply ``fn`` to the whole partition."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[list[Any]], Iterable[Any]]):
+        self.fn = fn
+
+    def __call__(self, _index: int, items: list[Any]) -> Iterable[Any]:
+        return self.fn(items)
+
+
+class _CombineMapTask:
+    """Map-side of ``combine_by_key``: pre-combine values within a partition.
+
+    Returns a single-element partition holding the ``key -> combiner`` dict,
+    so the pre-combined data flows back through the stage seam like any
+    other task result.
+    """
+
+    __slots__ = ("create_combiner", "merge_value")
+
+    def __init__(self, create_combiner, merge_value):
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+
+    def __call__(self, _index: int, items: list[Any]) -> list[dict]:
+        combiners: dict[Any, Any] = {}
+        for key, value in items:
+            if key in combiners:
+                combiners[key] = self.merge_value(combiners[key], value)
+            else:
+                combiners[key] = self.create_combiner(value)
+        return [combiners]
+
+
+class _CombineReduceTask:
+    """Reduce-side of ``combine_by_key``: merge one bucket's combiners."""
+
+    __slots__ = ("merge_combiners",)
+
+    def __init__(self, merge_combiners):
+        self.merge_combiners = merge_combiners
+
+    def __call__(self, _index: int, pairs: list[tuple]) -> list[tuple]:
+        bucket: dict[Any, Any] = {}
+        for key, combiner in pairs:
+            if key in bucket:
+                bucket[key] = self.merge_combiners(bucket[key], combiner)
+            else:
+                bucket[key] = combiner
+        return list(bucket.items())
+
+
+def _identity(value: Any) -> Any:
+    """Module-level identity so ``reduce_by_key`` stays picklable."""
+    return value
+
+
 class Distributed:
-    """An eagerly evaluated, partitioned collection bound to a runtime."""
+    """An eagerly evaluated, partitioned collection bound to a runtime.
+
+    The collection takes ownership of ``partitions`` without copying: every
+    construction site (``parallelize``/``from_partitions`` ingestion, stage
+    results) already hands over freshly built lists, so the old defensive
+    per-stage O(n) copy bought nothing (see DESIGN.md "Execution
+    backends" for the measurement).  Callers that need an independent
+    snapshot should use :meth:`glom`.
+    """
 
     __slots__ = ("runtime", "partitions", "name")
 
     def __init__(self, runtime, partitions: list[list[Any]], name: str = "rdd"):
         self.runtime = runtime
-        self.partitions = [list(partition) for partition in partitions]
+        self.partitions = partitions
         self.name = name
 
     # ------------------------------------------------------------------
@@ -49,17 +144,15 @@ class Distributed:
     # Narrow transformations (no shuffle)
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Distributed":
-        return self.map_partitions(
-            lambda items: [fn(item) for item in items],
-            name=name or f"{self.name}.map",
+        return self.map_partitions_with_index(
+            _ElementTask(fn), name=name or f"{self.name}.map"
         )
 
     def filter(
         self, predicate: Callable[[Any], bool], name: str | None = None
     ) -> "Distributed":
-        return self.map_partitions(
-            lambda items: [item for item in items if predicate(item)],
-            name=name or f"{self.name}.filter",
+        return self.map_partitions_with_index(
+            _FilterTask(predicate), name=name or f"{self.name}.filter"
         )
 
     def map_partitions(
@@ -68,7 +161,7 @@ class Distributed:
         name: str | None = None,
     ) -> "Distributed":
         return self.map_partitions_with_index(
-            lambda _index, items: fn(items), name=name or f"{self.name}.mapPartitions"
+            _PartitionTask(fn), name=name or f"{self.name}.mapPartitions"
         )
 
     def map_partitions_with_index(
@@ -78,38 +171,15 @@ class Distributed:
     ) -> "Distributed":
         """Apply ``fn(partition_index, items)`` to each partition, timed.
 
-        With a fault injector configured on the runtime, attempts chosen by
-        the injector fail after doing their work (the lost attempt's
-        duration still counts toward the stage, as on a real cluster) and
-        the task is retried up to the injector's budget.
+        Execution, per-task timing, and fault-injection retries all happen
+        inside the runtime's backend (see
+        :func:`repro.distengine.backends.execute_task`); this method only
+        names the stage and wraps the results.
         """
         stage_name = name or f"{self.name}.mapPartitionsWithIndex"
-        injector = getattr(self.runtime, "fault_injector", None)
-        new_partitions = []
-        durations = []
-        for index, items in enumerate(self.partitions):
-            task_time = 0.0
-            attempt = 0
-            while True:
-                started = time.perf_counter()
-                result = list(fn(index, items))
-                task_time += time.perf_counter() - started
-                failed = injector is not None and injector.should_fail(
-                    stage_name, index, attempt
-                )
-                if not failed:
-                    break
-                # The attempt's work is lost but its time was spent.
-                self.runtime.count_task_failure(stage_name)
-                attempt += 1
-                if attempt > injector.max_retries:
-                    raise TaskFailedError(
-                        f"task {index} of stage {stage_name!r} failed "
-                        f"{attempt} times"
-                    )
-            durations.append(task_time)
-            new_partitions.append(result)
-        self.runtime.record_stage(stage_name, durations)
+        new_partitions = self.runtime.run_stage(
+            stage_name, fn, list(enumerate(self.partitions))
+        )
         return Distributed(self.runtime, new_partitions, name=stage_name)
 
     # ------------------------------------------------------------------
@@ -125,46 +195,40 @@ class Distributed:
     ) -> "Distributed":
         """Group ``(key, value)`` elements by key, Spark's combineByKey.
 
-        Values are pre-combined inside each source partition (timed as the
-        map side), the partial combiners are hash-partitioned across the
-        network (charged to the shuffle ledger), then merged per target
-        partition (timed as the reduce side).
+        Values are pre-combined inside each source partition (a timed
+        map-side stage), the partial combiners are hash-partitioned across
+        the network (charged to the shuffle ledger; placement uses
+        :func:`~repro.distengine.shuffle.stable_hash`, so it is identical
+        across processes and ``PYTHONHASHSEED`` values), then merged per
+        target partition (a timed reduce-side stage).
         """
         stage_name = name or f"{self.name}.combineByKey"
         target_count = n_partitions or self.n_partitions or 1
 
-        map_durations = []
-        partial_maps: list[dict[Any, Any]] = []
-        for items in self.partitions:
-            started = time.perf_counter()
-            combiners: dict[Any, Any] = {}
-            for key, value in items:
-                if key in combiners:
-                    combiners[key] = merge_value(combiners[key], value)
-                else:
-                    combiners[key] = create_combiner(value)
-            map_durations.append(time.perf_counter() - started)
-            partial_maps.append(combiners)
-        self.runtime.record_stage(f"{stage_name}.map", map_durations)
+        partial_maps = self.runtime.run_stage(
+            f"{stage_name}.map",
+            _CombineMapTask(create_combiner, merge_value),
+            list(enumerate(self.partitions)),
+        )
 
+        # Driver-side shuffle routing: deterministic bucket placement and
+        # byte accounting.  Pairs are routed in (source partition, insertion)
+        # order so the reduce-side merges are order-identical under every
+        # backend.
         shuffled_bytes = 0
-        buckets: list[dict[Any, Any]] = [{} for _ in range(target_count)]
-        reduce_durations = [0.0] * target_count
-        for combiners in partial_maps:
+        routed: list[list[tuple]] = [[] for _ in range(target_count)]
+        for (combiners,) in partial_maps:
             for key, combiner in combiners.items():
-                bucket_index = hash(key) % target_count
+                bucket_index = stable_hash(key) % target_count
                 shuffled_bytes += estimate_bytes(key) + estimate_bytes(combiner)
-                bucket = buckets[bucket_index]
-                started = time.perf_counter()
-                if key in bucket:
-                    bucket[key] = merge_combiners(bucket[key], combiner)
-                else:
-                    bucket[key] = combiner
-                reduce_durations[bucket_index] += time.perf_counter() - started
+                routed[bucket_index].append((key, combiner))
         self.runtime.ledger.record(TransferKind.SHUFFLE, stage_name, shuffled_bytes)
-        self.runtime.record_stage(f"{stage_name}.reduce", reduce_durations)
 
-        new_partitions = [list(bucket.items()) for bucket in buckets]
+        new_partitions = self.runtime.run_stage(
+            f"{stage_name}.reduce",
+            _CombineReduceTask(merge_combiners),
+            list(enumerate(routed)),
+        )
         return Distributed(self.runtime, new_partitions, name=stage_name)
 
     def reduce_by_key(
@@ -174,7 +238,7 @@ class Distributed:
         name: str | None = None,
     ) -> "Distributed":
         return self.combine_by_key(
-            create_combiner=lambda value: value,
+            create_combiner=_identity,
             merge_value=fn,
             merge_combiners=fn,
             n_partitions=n_partitions,

@@ -1,11 +1,12 @@
 """The simulated distributed runtime: stages, timing, and cost replay.
 
 This is the offline stand-in for a Spark cluster.  Work still *really runs*
-(sequentially, on the host), but every partition task is timed and every
-network transfer is metered, so :meth:`SimulatedRuntime.simulated_time`
+on the host — through the configured stage-executor backend, which may be
+sequential or genuinely parallel — but every partition task is timed and
+every network transfer is metered, so :meth:`SimulatedRuntime.simulated_time`
 can report what the same execution would have cost on an M-machine cluster.
-See DESIGN.md §3 for why this substitution preserves the paper's
-measurements.
+The metered numbers are backend-invariant (see DESIGN.md §3 and "Execution
+backends" for why this substitution preserves the paper's measurements).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .backends import Backend, make_backend
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector
@@ -63,6 +65,7 @@ class SimulatedRuntime:
         self,
         config: ClusterConfig = DEFAULT_CLUSTER,
         fault_injector: "FaultInjector | None" = None,
+        backend: "str | Backend | None" = None,
     ):
         self.config = config
         self.ledger = ShuffleLedger()
@@ -70,6 +73,21 @@ class SimulatedRuntime:
         self.fault_injector = fault_injector
         self.task_failures: dict[str, int] = {}
         self._broadcast_base_bytes = 0
+        # `backend` overrides the cluster config's choice — handy for tests
+        # that inject a pre-built (or instrumented) executor.
+        self.backend = make_backend(
+            backend if backend is not None else config.backend, config.n_workers
+        )
+
+    def close(self) -> None:
+        """Shut down the backend's worker pool (no-op for serial)."""
+        self.backend.close()
+
+    def __enter__(self) -> "SimulatedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Data creation
@@ -95,8 +113,13 @@ class SimulatedRuntime:
     def from_partitions(
         self, partitions: list[list[Any]], name: str = "data"
     ) -> Distributed:
-        """Wrap pre-built partitions without re-splitting."""
-        return Distributed(self, partitions, name=name)
+        """Wrap pre-built partitions without re-splitting.
+
+        This ingestion boundary is the one place partitions are copied:
+        every downstream stage hands freshly built lists to
+        :class:`Distributed`, which takes ownership without copying.
+        """
+        return Distributed(self, [list(p) for p in partitions], name=name)
 
     def broadcast(self, value: Any, name: str = "broadcast") -> Broadcast:
         """Ship one read-only copy of ``value`` toward every machine."""
@@ -107,13 +130,31 @@ class SimulatedRuntime:
         return Broadcast(value, name, n_bytes)
 
     # ------------------------------------------------------------------
-    # Metering
+    # Stage execution and metering
     # ------------------------------------------------------------------
+    def run_stage(self, stage_name: str, task_fn, indexed_partitions) -> list[list]:
+        """Execute one stage through the backend and meter the outcome.
+
+        Returns the produced partitions ordered by partition index; the
+        measured per-task durations and fault-retry counts are recorded on
+        this runtime.  This is the single choke point all task execution
+        flows through, so serial, thread, and process backends feed the
+        cost model identically.
+        """
+        results, durations, failure_counts = self.backend.run_stage(
+            stage_name, task_fn, indexed_partitions, self.fault_injector
+        )
+        self.record_stage(stage_name, durations)
+        failures = sum(failure_counts)
+        if failures:
+            self.count_task_failure(stage_name, failures)
+        return results
+
     def record_stage(self, name: str, durations: list[float]) -> None:
         self.stages.append(StageReport(name, tuple(durations)))
 
-    def count_task_failure(self, stage: str) -> None:
-        self.task_failures[stage] = self.task_failures.get(stage, 0) + 1
+    def count_task_failure(self, stage: str, count: int = 1) -> None:
+        self.task_failures[stage] = self.task_failures.get(stage, 0) + count
 
     @property
     def total_task_failures(self) -> int:

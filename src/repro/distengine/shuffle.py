@@ -8,13 +8,14 @@ records every transfer so the experiments can verify those bounds.
 
 from __future__ import annotations
 
+import hashlib
 import sys
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ShuffleLedger", "estimate_bytes", "TransferKind"]
+__all__ = ["ShuffleLedger", "estimate_bytes", "stable_hash", "TransferKind"]
 
 
 class TransferKind:
@@ -55,6 +56,44 @@ def estimate_bytes(obj: object) -> int:
     if isinstance(words, np.ndarray):  # BitMatrix and friends
         return int(words.nbytes)
     return sys.getsizeof(obj)
+
+
+def _hash_bytes(key: object) -> bytes:
+    """Canonical byte encoding of a shuffle key, type-tagged per element."""
+    if key is None:
+        return b"n"
+    if isinstance(key, (bool, np.bool_)):
+        return b"b1" if key else b"b0"
+    if isinstance(key, (int, np.integer)):
+        return b"i" + str(int(key)).encode("ascii")
+    if isinstance(key, (float, np.floating)):
+        return b"f" + float(key).hex().encode("ascii")
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        return b"y" + bytes(key)
+    if isinstance(key, tuple):
+        # Hash each element first so variable-length parts cannot collide
+        # across positions.
+        digests = b"".join(
+            hashlib.blake2b(_hash_bytes(item), digest_size=8).digest()
+            for item in key
+        )
+        return b"t" + digests
+    return b"r" + repr(key).encode("utf-8")
+
+
+def stable_hash(key: object) -> int:
+    """A 64-bit hash that is identical across processes and interpreter runs.
+
+    The builtin ``hash`` is salted per process (``PYTHONHASHSEED``), so
+    using it for shuffle placement would scatter keys differently between
+    driver and pool workers — and between two runs of the same experiment.
+    Shuffle bucket assignment therefore uses this blake2b-based hash, which
+    depends only on the key's value.
+    """
+    digest = hashlib.blake2b(_hash_bytes(key), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass

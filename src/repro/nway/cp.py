@@ -20,6 +20,7 @@ from functools import reduce
 import numpy as np
 
 from ..bitops import BitMatrix, packing
+from ..distengine.backends import BACKEND_NAMES, make_backend
 from ..tensor import SparseBoolTensor
 
 __all__ = ["NwayCpConfig", "NwayCpResult", "cp_nway", "nway_reconstruct"]
@@ -27,13 +28,20 @@ __all__ = ["NwayCpConfig", "NwayCpResult", "cp_nway", "nway_reconstruct"]
 
 @dataclass(frozen=True)
 class NwayCpConfig:
-    """Hyper-parameters of the N-way Boolean CP solver."""
+    """Hyper-parameters of the N-way Boolean CP solver.
+
+    ``backend``/``n_workers`` parallelize the independent restarts
+    (``n_initial_sets``) across the stage-executor seam; the selected best
+    result is identical under every backend.
+    """
 
     rank: int
     max_iterations: int = 10
     tolerance: float = 0.0
     n_initial_sets: int = 1
     seed: int = 0
+    backend: str = "serial"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -48,6 +56,12 @@ class NwayCpConfig:
             raise ValueError(
                 f"n_initial_sets must be positive, got {self.n_initial_sets}"
             )
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.n_workers is not None and self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
 
 
 @dataclass(frozen=True)
@@ -219,13 +233,66 @@ def cp_nway(
         for mode in range(tensor.ndim)
     ]
 
+    candidates = _solve_restarts(tensor, unfoldings, config)
     best: NwayCpResult | None = None
-    for restart in range(config.n_initial_sets):
-        rng = np.random.default_rng(config.seed + restart)
-        candidate = _solve_once(tensor, unfoldings, config, rng)
+    for candidate in candidates:
         if best is None or candidate.error < best.error:
             best = candidate
     return best
+
+
+class _RestartTask:
+    """Stage payload: solve the restarts assigned to one partition.
+
+    Each restart derives its generator from ``seed + restart`` (the same
+    rule as the sequential path), so the candidate set — and therefore the
+    selected best — is identical under every backend.
+    """
+
+    __slots__ = ("tensor", "unfoldings", "config")
+
+    def __init__(self, tensor, unfoldings, config):
+        self.tensor = tensor
+        self.unfoldings = unfoldings
+        self.config = config
+
+    def __call__(self, _index: int, restarts: list[int]) -> list["NwayCpResult"]:
+        return [
+            _solve_once(
+                self.tensor,
+                self.unfoldings,
+                self.config,
+                np.random.default_rng(self.config.seed + restart),
+            )
+            for restart in restarts
+        ]
+
+
+def _solve_restarts(
+    tensor: SparseBoolTensor,
+    unfoldings: list[np.ndarray],
+    config: NwayCpConfig,
+) -> list["NwayCpResult"]:
+    """All initial-set candidates, in restart order.
+
+    With a parallel backend and more than one restart, the independent
+    solves run concurrently (one task per restart) through the same
+    stage-executor seam the distributed engine uses.
+    """
+    restarts = list(range(config.n_initial_sets))
+    if config.backend == "serial" or config.n_initial_sets == 1:
+        return [
+            _solve_once(
+                tensor, unfoldings, config, np.random.default_rng(config.seed + r)
+            )
+            for r in restarts
+        ]
+    task = _RestartTask(tensor, unfoldings, config)
+    with make_backend(config.backend, config.n_workers) as backend:
+        results, _durations, _failures = backend.run_stage(
+            "cpNway.restarts", task, [(r, [r]) for r in restarts]
+        )
+    return [candidate for partition in results for candidate in partition]
 
 
 def _solve_once(

@@ -32,7 +32,7 @@ from ..bitops import BitMatrix, boolean_matmul, packing
 from ..core.cache import RowSummationCache
 from ..core.decompose import prepare_partitioned_unfoldings
 from ..core.partition import PartitionData
-from ..distengine import Distributed, SimulatedRuntime
+from ..distengine import DEFAULT_CLUSTER, Distributed, SimulatedRuntime
 from ..tensor import SparseBoolTensor
 from .decompose import (
     BooleanTuckerConfig,
@@ -115,6 +115,40 @@ class TuckerCachedPartition:
         return error_if_zero, error_if_zero + delta_if_one
 
 
+class _BuildTuckerCache:
+    """Stage payload: build per-pattern effective-basis caches per partition.
+
+    Module-level and attribute-carrying (instead of a closure over driver
+    locals) so it pickles to process-pool workers.
+    """
+
+    __slots__ = ("outer", "inner", "core_perm", "group_size")
+
+    def __init__(self, outer: BitMatrix, inner: BitMatrix, core_perm, group_size):
+        self.outer = outer
+        self.inner = inner
+        self.core_perm = core_perm
+        self.group_size = group_size
+
+    def __call__(self, data) -> TuckerCachedPartition:
+        return TuckerCachedPartition(
+            data, self.outer, self.inner, self.core_perm, self.group_size
+        )
+
+
+class _TuckerColumnErrorsTask:
+    """Stage payload: one Tucker column's per-partition error evaluation."""
+
+    __slots__ = ("masks_if_zero", "column")
+
+    def __init__(self, masks_if_zero: np.ndarray, column: int):
+        self.masks_if_zero = masks_if_zero
+        self.column = column
+
+    def __call__(self, cached: TuckerCachedPartition):
+        return cached.column_errors(self.masks_if_zero, self.column)
+
+
 def update_tucker_factor(
     data_rdd: Distributed,
     target: BitMatrix,
@@ -130,7 +164,7 @@ def update_tucker_factor(
         name="updateTuckerFactor.broadcast",
     )
     cached_rdd = data_rdd.map(
-        lambda data: TuckerCachedPartition(data, outer, inner, core_perm, group_size),
+        _BuildTuckerCache(outer, inner, core_perm, group_size),
         name="cacheTuckerSummations",
     )
     updated = target.copy()
@@ -141,7 +175,7 @@ def update_tucker_factor(
         masks_if_zero = updated.words.copy()
         masks_if_zero[:, word_index] &= ~bit
         per_partition = cached_rdd.map(
-            lambda cp: cp.column_errors(masks_if_zero, column),
+            _TuckerColumnErrorsTask(masks_if_zero, column),
             name="tuckerColumnErrors",
         ).collect(name="collectTuckerColumnErrors")
         error_if_zero = np.zeros(updated.n_rows, dtype=np.int64)
@@ -172,13 +206,17 @@ def dbtf_tucker(
     n_partitions: int = 16,
     cache_group_size: int = 15,
     runtime: SimulatedRuntime | None = None,
+    backend: str = "serial",
+    n_workers: int | None = None,
 ) -> BooleanTuckerResult:
     """Distributed Boolean Tucker decomposition (journal-style DBTF).
 
     Factor updates run through the simulated engine with per-pattern
     effective-basis caches; core updates run on the driver.  Results match
     :func:`repro.tucker.boolean_tucker` for the same initialization because
-    both implement the same greedy updates.
+    both implement the same greedy updates.  ``backend``/``n_workers``
+    select the host-side stage executor when no ``runtime`` is supplied;
+    results and metered costs are backend-invariant.
     """
     if tensor.ndim != 3:
         raise ValueError(
@@ -190,20 +228,27 @@ def dbtf_tucker(
         config = BooleanTuckerConfig(core_shape=core_shape)
     if n_partitions <= 0:
         raise ValueError(f"n_partitions must be positive, got {n_partitions}")
+    owns_runtime = runtime is None
     if runtime is None:
-        runtime = SimulatedRuntime()
-
-    mode_rdds = prepare_partitioned_unfoldings(tensor, n_partitions, runtime)
-    dense = tensor.to_dense()
-
-    best: BooleanTuckerResult | None = None
-    for restart in range(config.n_initial_sets):
-        rng = np.random.default_rng(config.seed + restart)
-        candidate = _solve_once_distributed(
-            tensor, dense, mode_rdds, config, cache_group_size, runtime, rng
+        runtime = SimulatedRuntime(
+            DEFAULT_CLUSTER.with_backend(backend, n_workers)
         )
-        if best is None or candidate.error < best.error:
-            best = candidate
+
+    try:
+        mode_rdds = prepare_partitioned_unfoldings(tensor, n_partitions, runtime)
+        dense = tensor.to_dense()
+
+        best: BooleanTuckerResult | None = None
+        for restart in range(config.n_initial_sets):
+            rng = np.random.default_rng(config.seed + restart)
+            candidate = _solve_once_distributed(
+                tensor, dense, mode_rdds, config, cache_group_size, runtime, rng
+            )
+            if best is None or candidate.error < best.error:
+                best = candidate
+    finally:
+        if owns_runtime:
+            runtime.close()
     return best
 
 
