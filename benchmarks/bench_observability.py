@@ -1,0 +1,86 @@
+"""Overhead of the observability layer, on and off.
+
+The contract from DESIGN.md §Observability: with tracing *off* (the
+default), instrumentation adds no measurable cost — ``kernel_span``'s
+disabled path is one thread-local read returning a shared no-op context
+manager, and ``record_metric`` returns immediately.  The kernel
+micro-benchmarks in ``bench_kernels.py`` therefore run untraced code and
+must stay flat.  With tracing *on*, the cost is bounded and visible here
+rather than discovered in production.
+
+Run with ``pytest benchmarks/bench_observability.py`` (add
+``--benchmark-disable`` for a smoke pass).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import dbtf
+from repro.distengine import ClusterConfig, SimulatedRuntime
+from repro.observability.trace import (
+    TaskTraceContext,
+    activate_task_context,
+    deactivate_task_context,
+    kernel_span,
+    record_metric,
+)
+from repro.tensor import planted_tensor
+
+
+def _instrumented_loop(iterations: int) -> int:
+    """The shape of a hot kernel: a span and a metric per call."""
+    total = 0
+    for index in range(iterations):
+        with kernel_span("bench.loop", index=index):
+            record_metric("bench_ops_total")
+            total += index
+    return total
+
+
+def test_kernel_span_disabled_path(benchmark):
+    """No active context: the span must cost a thread-local read, not more."""
+    assert kernel_span("probe") is kernel_span("probe")  # shared no-op
+    total = benchmark(_instrumented_loop, 1000)
+    assert total == 499500
+
+
+def test_kernel_span_enabled_path(benchmark):
+    """With an active context every call records — the price of tracing."""
+
+    def traced():
+        context = TaskTraceContext()
+        activate_task_context(context)
+        try:
+            total = _instrumented_loop(1000)
+        finally:
+            deactivate_task_context()
+        assert len(context.kernels) == 1000
+        return total
+
+    assert benchmark(traced) == 499500
+
+
+def _dbtf_run(tracing: bool) -> int:
+    tensor, _ = planted_tensor(
+        (12, 12, 12), rank=2, factor_density=0.3,
+        rng=np.random.default_rng(5),
+    )
+    runtime = SimulatedRuntime(
+        ClusterConfig(n_machines=2, cores_per_machine=2, tracing=tracing)
+    )
+    try:
+        result = dbtf(tensor, rank=2, max_iterations=2, n_partitions=3,
+                      seed=0, runtime=runtime)
+    finally:
+        runtime.close()
+    if tracing:
+        assert len(runtime.tracer) > 0
+    else:
+        assert runtime.tracer is None
+    return result.error
+
+
+@pytest.mark.parametrize("tracing", [False, True], ids=["off", "on"])
+def test_dbtf_end_to_end(benchmark, tracing):
+    """Whole-decomposition cost with the tracer off vs. on."""
+    benchmark.pedantic(_dbtf_run, args=(tracing,), rounds=3, iterations=1)

@@ -12,6 +12,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..observability.trace import kernel_span, record_metric
 from . import packing
 
 __all__ = ["BitMatrix"]
@@ -134,24 +135,30 @@ class BitMatrix:
         return packing.unpack_bits(self.words, self.n_cols)
 
     def transpose(self) -> "BitMatrix":
-        return BitMatrix.from_dense(self.to_dense().T)
+        with kernel_span("bitmatrix.transpose", rows=self.n_rows,
+                         cols=self.n_cols):
+            return BitMatrix.from_dense(self.to_dense().T)
 
     def boolean_or(self, other: "BitMatrix") -> "BitMatrix":
         """Element-wise Boolean sum (Eq. 5 of the paper)."""
         self._check_same_shape(other)
+        record_metric("bitmatrix_ops_total", op="or")
         return BitMatrix(self.n_rows, self.n_cols, self.words | other.words)
 
     def boolean_and(self, other: "BitMatrix") -> "BitMatrix":
         self._check_same_shape(other)
+        record_metric("bitmatrix_ops_total", op="and")
         return BitMatrix(self.n_rows, self.n_cols, self.words & other.words)
 
     def xor(self, other: "BitMatrix") -> "BitMatrix":
         self._check_same_shape(other)
+        record_metric("bitmatrix_ops_total", op="xor")
         return BitMatrix(self.n_rows, self.n_cols, self.words ^ other.words)
 
     def hamming_distance(self, other: "BitMatrix") -> int:
         """Number of differing entries."""
         self._check_same_shape(other)
+        record_metric("bitmatrix_ops_total", op="hamming")
         return packing.popcount(self.words ^ other.words)
 
     def _check_same_shape(self, other: "BitMatrix") -> None:

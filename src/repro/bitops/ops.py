@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.trace import kernel_span
 from .bitmatrix import BitMatrix
 
 __all__ = [
@@ -30,13 +31,15 @@ def boolean_matmul(left: BitMatrix, right: BitMatrix) -> BitMatrix:
         raise ValueError(
             f"inner dimensions differ: {left.shape} ∘ {right.shape}"
         )
-    out_words = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
-    left_dense = left.to_dense().astype(bool)
-    for i in range(left.n_rows):
-        selected = np.flatnonzero(left_dense[i])
-        if selected.size:
-            out_words[i] = np.bitwise_or.reduce(right.words[selected], axis=0)
-    return BitMatrix(left.n_rows, right.n_cols, out_words)
+    with kernel_span("boolean_matmul", m=left.n_rows, k=left.n_cols,
+                     n=right.n_cols):
+        out_words = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
+        left_dense = left.to_dense().astype(bool)
+        for i in range(left.n_rows):
+            selected = np.flatnonzero(left_dense[i])
+            if selected.size:
+                out_words[i] = np.bitwise_or.reduce(right.words[selected], axis=0)
+        return BitMatrix(left.n_rows, right.n_cols, out_words)
 
 
 def khatri_rao(left: BitMatrix, right: BitMatrix) -> BitMatrix:
@@ -90,9 +93,11 @@ def or_accumulate_table(columns_packed: np.ndarray, n_columns: int) -> np.ndarra
         raise ValueError(
             f"need at least {n_columns} packed rows, got {columns_packed.shape[0]}"
         )
-    n_words = columns_packed.shape[1]
-    table = np.zeros((1 << n_columns, n_words), dtype=np.uint64)
-    for bit in range(n_columns):
-        half = 1 << bit
-        table[half : 2 * half] = table[:half] | columns_packed[bit]
-    return table
+    with kernel_span("or_accumulate_table", n_columns=n_columns,
+                     n_entries=1 << n_columns):
+        n_words = columns_packed.shape[1]
+        table = np.zeros((1 << n_columns, n_words), dtype=np.uint64)
+        for bit in range(n_columns):
+            half = 1 << bit
+            table[half : 2 * half] = table[:half] | columns_packed[bit]
+        return table

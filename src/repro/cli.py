@@ -90,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--seed", type=int, default=0)
     factorize.add_argument("--factors-out", default=None,
                            help="directory for A.mtx/B.mtx/C.mtx")
+    factorize.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a structured span trace of the run "
+                                "(dbtf/nway-cp only)")
+    factorize.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                           default="jsonl",
+                           help="trace file format: one JSON object per "
+                                "span, or the Chrome trace-event format "
+                                "for chrome://tracing / Perfetto")
+    factorize.add_argument("--metrics", action="store_true",
+                           help="print the stage/transfer/metrics summary "
+                                "after the run (dbtf/nway-cp only)")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -147,20 +158,49 @@ def _command_info(args: argparse.Namespace) -> int:
 def _command_factorize(args: argparse.Namespace) -> int:
     from .tensor import load_tensor, save_factors
 
+    observing = args.trace is not None or args.metrics
+    if observing and args.method not in ("dbtf", "nway-cp"):
+        print(
+            f"--trace/--metrics are only supported for dbtf and nway-cp, "
+            f"not {args.method}",
+            file=sys.stderr,
+        )
+        return 2
+
     tensor = load_tensor(args.tensor)
+    tracer = metrics = None
     if args.method == "dbtf":
         from .core import dbtf
+        from .distengine import SimulatedRuntime
 
-        result = dbtf(
-            tensor,
-            rank=args.rank,
-            seed=args.seed,
-            max_iterations=args.max_iterations,
-            n_initial_sets=args.initial_sets,
-            n_partitions=args.partitions,
-            backend=args.backend,
-            n_workers=args.workers,
-        )
+        runtime = None
+        if observing:
+            from .core import DbtfConfig
+
+            probe = DbtfConfig(
+                rank=args.rank,
+                backend=args.backend,
+                n_workers=args.workers,
+                tracing=True,
+            )
+            runtime = SimulatedRuntime(probe.resolved_cluster())
+        try:
+            result = dbtf(
+                tensor,
+                rank=args.rank,
+                seed=args.seed,
+                max_iterations=args.max_iterations,
+                n_initial_sets=args.initial_sets,
+                n_partitions=args.partitions,
+                backend=args.backend,
+                n_workers=args.workers,
+                runtime=runtime,
+            )
+        finally:
+            if runtime is not None:
+                runtime.close()
+        if runtime is not None:
+            tracer, metrics = runtime.tracer, runtime.metrics
         print(f"method         : DBTF (simulated {result.report.n_machines} machines, "
               f"{args.backend} backend)")
         print(f"simulated time : {result.report.simulated_time:.2f} s")
@@ -183,6 +223,11 @@ def _command_factorize(args: argparse.Namespace) -> int:
     elif args.method == "nway-cp":
         from .nway import NwayCpConfig, cp_nway
 
+        if observing:
+            from .observability import MetricsRegistry, Tracer
+
+            tracer = Tracer() if args.trace is not None else None
+            metrics = MetricsRegistry()
         result = cp_nway(
             tensor,
             config=NwayCpConfig(
@@ -193,6 +238,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 n_workers=args.workers,
             ),
+            tracer=tracer,
+            metrics=metrics,
         )
         print(f"method         : N-way Boolean CP ({tensor.ndim} modes)")
     else:
@@ -213,6 +260,21 @@ def _command_factorize(args: argparse.Namespace) -> int:
 
     print(f"error          : {result.error}")
     print(f"relative error : {result.relative_error:.4f}")
+
+    if args.trace is not None and tracer is not None:
+        from .observability import write_chrome_trace, write_jsonl
+
+        if args.trace_format == "chrome":
+            write_chrome_trace(tracer, args.trace)
+        else:
+            write_jsonl(tracer, args.trace)
+        print(f"trace written to {args.trace} ({len(tracer)} spans, "
+              f"{args.trace_format})")
+    if args.metrics:
+        from .observability import render_report
+
+        print()
+        print(render_report(tracer, metrics))
 
     if args.factors_out:
         if len(result.factors) == 3:

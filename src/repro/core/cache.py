@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitops import BitMatrix, or_accumulate_table, packing
+from ..observability.trace import kernel_span, record_metric
 
 __all__ = ["split_groups", "RowSummationCache"]
 
@@ -57,12 +58,16 @@ class RowSummationCache:
         self.width = inner.n_rows
         self.group_size = group_size
         self.groups = split_groups(self.rank, group_size)
-        # Row r of inner^T is column r of inner, packed over `width` bits.
-        columns_packed = inner.transpose().words
-        self.full_tables = [
-            or_accumulate_table(columns_packed[start : start + size], size)
-            for start, size in self.groups
-        ]
+        with kernel_span("cache.build", rank=self.rank,
+                         n_groups=len(self.groups)):
+            # Row r of inner^T is column r of inner, packed over `width` bits.
+            columns_packed = inner.transpose().words
+            self.full_tables = [
+                or_accumulate_table(columns_packed[start : start + size], size)
+                for start, size in self.groups
+            ]
+        record_metric("cache_tables_built_total", len(self.full_tables))
+        record_metric("cache_entries_total", self.n_entries)
         full_range = (0, self.width)
         self._sliced: dict[tuple[int, int], list[np.ndarray]] = {
             full_range: self.full_tables
@@ -122,6 +127,7 @@ class RowSummationCache:
             raise ValueError(
                 f"got {len(tables)} tables but {len(keys)} key arrays"
             )
+        record_metric("cache_fetches_total")
         summation = tables[0][keys[0]]
         for table, key in zip(tables[1:], keys[1:]):
             summation = summation | table[key]

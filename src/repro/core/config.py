@@ -62,6 +62,11 @@ class DbtfConfig:
     n_workers:
         Worker-pool size for the thread/process backends; ``None`` defers
         to ``cluster.n_workers`` (and ultimately the host's CPU count).
+    tracing:
+        Collect a structured span trace of the run (``stage → task →
+        kernel`` plus transfer events) on the runtime's tracer; export it
+        with :mod:`repro.observability`.  ``False`` (default) defers to
+        ``cluster.tracing``.
     """
 
     rank: int
@@ -76,6 +81,7 @@ class DbtfConfig:
     cluster: ClusterConfig = DEFAULT_CLUSTER
     backend: str | None = None
     n_workers: int | None = None
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -122,8 +128,8 @@ class DbtfConfig:
         return self.cluster.total_slots
 
     def resolved_cluster(self) -> ClusterConfig:
-        """``cluster`` with this config's backend overrides applied."""
-        if self.backend is None and self.n_workers is None:
+        """``cluster`` with this config's backend/tracing overrides applied."""
+        if self.backend is None and self.n_workers is None and not self.tracing:
             return self.cluster
         return replace(
             self.cluster,
@@ -131,4 +137,5 @@ class DbtfConfig:
             n_workers=(
                 self.n_workers if self.n_workers is not None else self.cluster.n_workers
             ),
+            tracing=self.tracing or self.cluster.tracing,
         )

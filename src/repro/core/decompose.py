@@ -48,7 +48,7 @@ def prepare_partitioned_unfoldings(
             unfolding.block_count, unfolding.block_width, n_partitions
         )
         coordinate_splits = split_unfolding_coordinates(unfolding, plans)
-        runtime.ledger.record(
+        runtime.record_transfer(
             TransferKind.SHUFFLE,
             f"partitionUnfolding[{mode}]",
             sum(split.nbytes for split in coordinate_splits),

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..bitops import BitMatrix, packing
 from ..distengine import Distributed, SimulatedRuntime
+from ..observability.trace import kernel_span
 from .cache import RowSummationCache
 from .config import DbtfConfig
 from .partition import PartitionData
@@ -78,6 +79,23 @@ class CachedPartition:
         block j is ``outer[j, c] * inner[:, c]`` — independent of the row —
         so ``rec1 = rec0 | column_coverage``.
         """
+        with kernel_span(
+            "cp.columnErrors",
+            rows=masks_if_zero.shape[0],
+            full_blocks=int(self.full_pvms.size),
+            edge_blocks=len(self.edge_blocks),
+        ):
+            return self._column_errors(
+                masks_if_zero, outer_words, outer_column, inner_column_words
+            )
+
+    def _column_errors(
+        self,
+        masks_if_zero: np.ndarray,
+        outer_words: np.ndarray,
+        outer_column: np.ndarray,
+        inner_column_words: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
         n_rows = masks_if_zero.shape[0]
         error_if_zero = np.zeros(n_rows, dtype=np.int64)
         delta_if_one = np.zeros(n_rows, dtype=np.int64)

@@ -1,5 +1,6 @@
 """Simulated distributed engine (the offline Spark stand-in)."""
 
+from ..observability import MetricsRegistry, SpanKind, Tracer
 from .backends import (
     BACKEND_NAMES,
     Backend,
@@ -39,4 +40,7 @@ __all__ = [
     "stable_hash",
     "makespan",
     "assign_tasks",
+    "Tracer",
+    "SpanKind",
+    "MetricsRegistry",
 ]

@@ -19,10 +19,15 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..faults import FaultInjector, TaskFailedError
+from ...observability.trace import (
+    TaskTraceContext,
+    activate_task_context,
+    deactivate_task_context,
+)
 
 __all__ = ["BACKEND_NAMES", "Backend", "TaskOutcome", "StageResult", "execute_task"]
 
@@ -35,21 +40,46 @@ TaskFn = Callable[[int, list], Iterable[Any]]
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What one partition task reports back to the driver."""
+    """What one partition task reports back to the driver.
+
+    ``trace`` is the task's span sub-tree (a picklable dict, ``None`` when
+    tracing is off) and ``metric_deltas`` the worker-side metric increments
+    — both produced by the :class:`~repro.observability.trace.
+    TaskTraceContext` active while the task ran, so they survive the trip
+    back from a process-pool worker.
+    """
 
     index: int
     result: list
     duration: float
     failures: int
+    trace: dict | None = None
+    metric_deltas: tuple = ()
 
 
 @dataclass(frozen=True)
 class StageResult:
-    """Per-task outputs of one stage, ordered by partition index."""
+    """Per-task outputs of one stage, ordered by partition index.
+
+    Iteration keeps the historical ``(results, durations, failure_counts)``
+    triple; trace and metric payloads are reached by attribute.
+    """
 
     results: list[list]
     durations: list[float]
     failure_counts: list[int]
+    traces: list = field(default_factory=list)
+    metric_deltas: list = field(default_factory=list)
+
+    @classmethod
+    def from_outcomes(cls, outcomes: "Sequence[TaskOutcome]") -> "StageResult":
+        return cls(
+            results=[outcome.result for outcome in outcomes],
+            durations=[outcome.duration for outcome in outcomes],
+            failure_counts=[outcome.failures for outcome in outcomes],
+            traces=[outcome.trace for outcome in outcomes],
+            metric_deltas=[outcome.metric_deltas for outcome in outcomes],
+        )
 
     def __iter__(self):
         return iter((self.results, self.durations, self.failure_counts))
@@ -61,6 +91,7 @@ def execute_task(
     index: int,
     items: list,
     injector: FaultInjector | None,
+    collect_trace: bool = False,
 ) -> TaskOutcome:
     """Run one partition task, timing each attempt and retrying faults.
 
@@ -70,25 +101,53 @@ def execute_task(
     — the lost attempt's duration still counts toward the stage, as on a
     real cluster — and the task retries up to the injector's budget before
     raising :class:`TaskFailedError`.
+
+    With ``collect_trace`` a :class:`TaskTraceContext` is active for the
+    whole call (all attempts), so kernel spans and metric increments from
+    inside the task land in the outcome regardless of backend.  The fault
+    injector is deterministic, so the kernel spans of retried attempts —
+    which a real cluster would also re-execute — appear identically under
+    every backend.
     """
+    context = TaskTraceContext() if collect_trace else None
+    if context is not None:
+        activate_task_context(context)
     task_time = 0.0
     attempt = 0
     failures = 0
-    while True:
-        started = time.perf_counter()
-        result = list(task_fn(index, items))
-        task_time += time.perf_counter() - started
-        failed = injector is not None and injector.should_fail(
-            stage_name, index, attempt
-        )
-        if not failed:
-            return TaskOutcome(index, result, task_time, failures)
-        failures += 1
-        attempt += 1
-        if attempt > injector.max_retries:
-            raise TaskFailedError(
-                f"task {index} of stage {stage_name!r} failed {attempt} times"
+    try:
+        while True:
+            started = time.perf_counter()
+            result = list(task_fn(index, items))
+            task_time += time.perf_counter() - started
+            failed = injector is not None and injector.should_fail(
+                stage_name, index, attempt
             )
+            if not failed:
+                break
+            failures += 1
+            attempt += 1
+            if attempt > injector.max_retries:
+                raise TaskFailedError(
+                    f"task {index} of stage {stage_name!r} failed {attempt} times",
+                    stage=stage_name,
+                    partition=index,
+                )
+    finally:
+        if context is not None:
+            deactivate_task_context()
+    trace = None
+    metric_deltas: tuple = ()
+    if context is not None:
+        trace = {
+            "name": stage_name,
+            "start": 0.0,
+            "duration": task_time,
+            "attrs": {"partition": index, "retries": failures},
+            "kernels": context.kernels,
+        }
+        metric_deltas = context.metric_deltas()
+    return TaskOutcome(index, result, task_time, failures, trace, metric_deltas)
 
 
 class Backend(ABC):
@@ -112,8 +171,14 @@ class Backend(ABC):
         task_fn: TaskFn,
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
+        collect_trace: bool = False,
     ) -> StageResult:
-        """Run ``task_fn`` over every ``(index, items)`` pair."""
+        """Run ``task_fn`` over every ``(index, items)`` pair.
+
+        ``collect_trace`` asks each task to record its kernel spans and
+        metric increments (see :func:`execute_task`); the driver grafts
+        them into its tracer afterwards.
+        """
 
     def close(self) -> None:
         """Release worker resources; the backend is reusable until closed."""

@@ -47,10 +47,12 @@ class _PoolBackend(Backend):
         task_fn: TaskFn,
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
+        collect_trace: bool = False,
     ) -> StageResult:
         futures = [
             self.executor.submit(
-                execute_task, task_fn, stage_name, index, items, fault_injector
+                execute_task, task_fn, stage_name, index, items,
+                fault_injector, collect_trace,
             )
             for index, items in indexed_partitions
         ]
@@ -60,11 +62,7 @@ class _PoolBackend(Backend):
             for future in futures:
                 future.cancel()
             raise
-        return StageResult(
-            results=[outcome.result for outcome in outcomes],
-            durations=[outcome.duration for outcome in outcomes],
-            failure_counts=[outcome.failures for outcome in outcomes],
-        )
+        return StageResult.from_outcomes(outcomes)
 
     def close(self) -> None:
         if self._executor is not None:

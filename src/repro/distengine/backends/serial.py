@@ -31,13 +31,12 @@ class SerialBackend(Backend):
         task_fn: TaskFn,
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
+        collect_trace: bool = False,
     ) -> StageResult:
         outcomes = [
-            execute_task(task_fn, stage_name, index, items, fault_injector)
+            execute_task(
+                task_fn, stage_name, index, items, fault_injector, collect_trace
+            )
             for index, items in indexed_partitions
         ]
-        return StageResult(
-            results=[outcome.result for outcome in outcomes],
-            durations=[outcome.duration for outcome in outcomes],
-            failure_counts=[outcome.failures for outcome in outcomes],
-        )
+        return StageResult.from_outcomes(outcomes)

@@ -50,6 +50,12 @@ class ClusterConfig:
         Worker-pool size for the thread/process backends (``None`` uses
         the host's CPU count).  Unrelated to ``n_machines``, which is the
         *simulated* cluster size.
+    tracing:
+        Collect a structured span trace (``stage → task → kernel`` plus
+        transfer events) on the runtime's
+        :class:`~repro.observability.Tracer`.  The trace *structure* is
+        backend-invariant; only wall-clock fields differ.  Off by default
+        because per-task span collection is not free.
     """
 
     n_machines: int = 16
@@ -59,6 +65,7 @@ class ClusterConfig:
     driver_latency_sec: float = 0.003
     backend: str = "serial"
     n_workers: int | None = None
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -94,6 +101,10 @@ class ClusterConfig:
     ) -> "ClusterConfig":
         """The same cluster executing its stages on a different backend."""
         return replace(self, backend=backend, n_workers=n_workers)
+
+    def with_tracing(self, tracing: bool = True) -> "ClusterConfig":
+        """The same cluster with span tracing switched on (or off)."""
+        return replace(self, tracing=tracing)
 
 
 DEFAULT_CLUSTER = ClusterConfig()

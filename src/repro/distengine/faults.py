@@ -22,7 +22,28 @@ class InjectedTaskFailure(Exception):
 
 
 class TaskFailedError(RuntimeError):
-    """A task exhausted its retry budget."""
+    """A task exhausted its retry budget.
+
+    Carries the failing stage name and partition index both in the message
+    and as attributes, so observability consumers (and tests) can attribute
+    the failure without parsing text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: "str | None" = None,
+        partition: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.partition = partition
+
+    def __reduce__(self):
+        # Keep stage/partition across the process-pool pickle round-trip
+        # (the default exception reduce only replays ``args``).
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.stage, self.partition))
 
 
 @dataclass(frozen=True)

@@ -222,7 +222,7 @@ class Distributed:
                 bucket_index = stable_hash(key) % target_count
                 shuffled_bytes += estimate_bytes(key) + estimate_bytes(combiner)
                 routed[bucket_index].append((key, combiner))
-        self.runtime.ledger.record(TransferKind.SHUFFLE, stage_name, shuffled_bytes)
+        self.runtime.record_transfer(TransferKind.SHUFFLE, stage_name, shuffled_bytes)
 
         new_partitions = self.runtime.run_stage(
             f"{stage_name}.reduce",
@@ -252,7 +252,7 @@ class Distributed:
         """Pull every element to the driver; charged to the collect ledger."""
         stage_name = name or f"{self.name}.collect"
         flat = [item for partition in self.partitions for item in partition]
-        self.runtime.ledger.record(
+        self.runtime.record_transfer(
             TransferKind.COLLECT, stage_name, estimate_bytes(flat)
         )
         return flat

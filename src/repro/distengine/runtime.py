@@ -11,9 +11,11 @@ backends" for why this substitution preserves the paper's measurements).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..observability import MetricsRegistry, SpanKind, Tracer
 from .backends import Backend, make_backend
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
@@ -66,13 +68,22 @@ class SimulatedRuntime:
         config: ClusterConfig = DEFAULT_CLUSTER,
         fault_injector: "FaultInjector | None" = None,
         backend: "str | Backend | None" = None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.config = config
         self.ledger = ShuffleLedger()
         self.stages: list[StageReport] = []
         self.fault_injector = fault_injector
-        self.task_failures: dict[str, int] = {}
         self._broadcast_base_bytes = 0
+        # Every runtime carries a metrics registry (counters are cheap and
+        # back the task-failure facade); the tracer is opt-in via
+        # ``ClusterConfig(tracing=True)`` or an explicit instance because
+        # span collection inside every task is not free.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if config.tracing else None
+        )
         # `backend` overrides the cluster config's choice — handy for tests
         # that inject a pre-built (or instrumented) executor.
         self.backend = make_backend(
@@ -126,7 +137,7 @@ class SimulatedRuntime:
         n_bytes = estimate_bytes(value)
         self._broadcast_base_bytes += n_bytes
         # The ledger stores the per-machine copy; replay multiplies by M.
-        self.ledger.record(TransferKind.BROADCAST, name, n_bytes)
+        self.record_transfer(TransferKind.BROADCAST, name, n_bytes)
         return Broadcast(value, name, n_bytes)
 
     # ------------------------------------------------------------------
@@ -139,32 +150,94 @@ class SimulatedRuntime:
         measured per-task durations and fault-retry counts are recorded on
         this runtime.  This is the single choke point all task execution
         flows through, so serial, thread, and process backends feed the
-        cost model identically.
+        cost model — and the trace/metrics layer — identically.
         """
-        results, durations, failure_counts = self.backend.run_stage(
-            stage_name, task_fn, indexed_partitions, self.fault_injector
+        tracing = self.tracer is not None
+        started = time.perf_counter()
+        stage = self.backend.run_stage(
+            stage_name, task_fn, indexed_partitions, self.fault_injector,
+            collect_trace=tracing,
         )
-        self.record_stage(stage_name, durations)
-        failures = sum(failure_counts)
+        wall_time = time.perf_counter() - started
+        self.record_stage(stage_name, stage.durations)
+
+        registry = self.metrics
+        registry.counter("stages_total").inc()
+        registry.counter("tasks_total", stage=stage_name).inc(len(stage.durations))
+        duration_histogram = registry.histogram(
+            "task_duration_seconds", stage=stage_name
+        )
+        for duration in stage.durations:
+            duration_histogram.observe(duration)
+        failures = sum(stage.failure_counts)
         if failures:
             self.count_task_failure(stage_name, failures)
-        return results
+        # Worker-side metric increments (cache builds, bitmatrix op counts)
+        # merge in partition order; counters commute, so the totals are
+        # identical under every backend.
+        for deltas in stage.metric_deltas:
+            if deltas:
+                registry.merge_deltas(deltas)
+
+        if tracing:
+            stage_span_id = self.tracer.add_span(
+                stage_name, SpanKind.STAGE, start=started, duration=wall_time,
+                n_tasks=len(stage.durations), task_failures=failures,
+            )
+            for task_trace in stage.traces:
+                if task_trace is not None:
+                    self.tracer.graft(stage_span_id, task_trace)
+        return stage.results
 
     def record_stage(self, name: str, durations: list[float]) -> None:
         self.stages.append(StageReport(name, tuple(durations)))
 
+    # ------------------------------------------------------------------
+    # Failure accounting (registry-backed facade)
+    # ------------------------------------------------------------------
     def count_task_failure(self, stage: str, count: int = 1) -> None:
-        self.task_failures[stage] = self.task_failures.get(stage, 0) + count
+        """Compatible facade over ``task_failures_total`` in the registry."""
+        self.metrics.counter("task_failures_total", stage=stage).inc(count)
+
+    @property
+    def task_failures(self) -> dict[str, int]:
+        """Per-stage fault-retry counts, read back from the registry."""
+        counters = self.metrics.counters().get("task_failures_total", {})
+        return {
+            dict(labels)["stage"]: int(value)
+            for labels, value in counters.items()
+        }
 
     @property
     def total_task_failures(self) -> int:
         return sum(self.task_failures.values())
 
+    # ------------------------------------------------------------------
+    # Network accounting
+    # ------------------------------------------------------------------
+    def record_transfer(self, kind: str, stage: str, n_bytes: int) -> None:
+        """Meter one network transfer: ledger, metrics, and trace at once.
+
+        This is the single entry point for shuffle/broadcast/collect bytes,
+        so the byte attribution in the span tree always matches the ledger
+        the cost model replays.
+        """
+        self.ledger.record(kind, stage, n_bytes)
+        self.metrics.counter(
+            "transfer_bytes_total", kind=kind, stage=stage
+        ).inc(n_bytes)
+        if self.tracer is not None:
+            self.tracer.event(
+                stage, SpanKind.TRANSFER, transfer=kind, bytes=int(n_bytes)
+            )
+
     def reset(self) -> None:
         self.ledger.reset()
         self.stages.clear()
-        self.task_failures.clear()
         self._broadcast_base_bytes = 0
+        self.metrics.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
 
     # ------------------------------------------------------------------
     # Cost replay
@@ -196,7 +269,19 @@ class SimulatedRuntime:
         network_bytes = (
             shuffle_bytes + collect_bytes + self._broadcast_base_bytes * machines
         )
-        return compute + network_bytes / self.config.network_bytes_per_sec
+        network_time = network_bytes / self.config.network_bytes_per_sec
+        # The cost replay (the scheduler's consumer) reports its split into
+        # the registry so experiments can read compute vs. network shares.
+        self.metrics.gauge("simulated_compute_seconds", machines=machines).set(
+            compute
+        )
+        self.metrics.gauge("simulated_network_seconds", machines=machines).set(
+            network_time
+        )
+        self.metrics.gauge("simulated_time_seconds", machines=machines).set(
+            compute + network_time
+        )
+        return compute + network_time
 
     def report(self, n_machines: int | None = None) -> ExecutionReport:
         machines = n_machines if n_machines is not None else self.config.n_machines

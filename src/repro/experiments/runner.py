@@ -156,6 +156,9 @@ def run_dbtf(
     n_machines: int = 16,
     backend: str = "serial",
     n_workers: int | None = None,
+    tracing: bool = False,
+    trace_path: str | None = None,
+    trace_format: str = "jsonl",
     **config_overrides,
 ) -> MethodOutcome:
     """Run DBTF; ``seconds`` is the simulated M-machine wall time.
@@ -167,11 +170,24 @@ def run_dbtf(
     host-side stage executor: the simulated time and all metered bytes are
     backend-invariant, but a parallel backend shrinks ``host_seconds`` on
     multi-core hosts.
+
+    With ``tracing`` (or a ``trace_path``), the runtime collects a span
+    trace: the tracer and metrics registry land in ``details["tracer"]`` /
+    ``details["metrics"]``, and the trace is written to ``trace_path``
+    (``trace_format`` is ``"jsonl"`` or ``"chrome"``) when one is given.
     """
+    if trace_format not in ("jsonl", "chrome"):
+        raise ValueError(
+            f"trace_format must be 'jsonl' or 'chrome', got {trace_format!r}"
+        )
+    tracing = tracing or trace_path is not None
     runtime_box: list[SimulatedRuntime] = []
 
     def _run():
-        runtime = SimulatedRuntime(DEFAULT_CLUSTER.with_backend(backend, n_workers))
+        cluster = DEFAULT_CLUSTER.with_backend(backend, n_workers)
+        if tracing:
+            cluster = cluster.with_tracing()
+        runtime = SimulatedRuntime(cluster)
         runtime_box.append(runtime)
         try:
             return dbtf(tensor, rank=rank, runtime=runtime, **config_overrides)
@@ -181,19 +197,31 @@ def run_dbtf(
     result, elapsed, status = call_with_timeout(_run, timeout_sec)
     if status != STATUS_OK:
         return MethodOutcome(method="DBTF", status=status, seconds=elapsed)
-    simulated = runtime_box[0].simulated_time(n_machines)
+    runtime = runtime_box[0]
+    simulated = runtime.simulated_time(n_machines)
+    details = {
+        "host_seconds": elapsed,
+        "iterations": result.n_iterations,
+        "shuffle_bytes": result.report.shuffle_bytes,
+        "result": result,
+    }
+    if tracing:
+        details["tracer"] = runtime.tracer
+        details["metrics"] = runtime.metrics
+        if trace_path is not None:
+            from ..observability import write_chrome_trace, write_jsonl
+
+            if trace_format == "chrome":
+                write_chrome_trace(runtime.tracer, trace_path)
+            else:
+                write_jsonl(runtime.tracer, trace_path)
     return MethodOutcome(
         method="DBTF",
         status=STATUS_OK,
         seconds=simulated,
         error=result.error,
         relative_error=result.relative_error,
-        details={
-            "host_seconds": elapsed,
-            "iterations": result.n_iterations,
-            "shuffle_bytes": result.report.shuffle_bytes,
-            "result": result,
-        },
+        details=details,
     )
 
 

@@ -14,14 +14,20 @@ where an N-way analysis is run interactively, not for DBTF-scale data.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import reduce
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..bitops import BitMatrix, packing
 from ..distengine.backends import BACKEND_NAMES, make_backend
+from ..observability.trace import SpanKind
 from ..tensor import SparseBoolTensor
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..observability import MetricsRegistry, Tracer
 
 __all__ = ["NwayCpConfig", "NwayCpResult", "cp_nway", "nway_reconstruct"]
 
@@ -206,6 +212,8 @@ def cp_nway(
     tensor: SparseBoolTensor,
     rank: int | None = None,
     config: NwayCpConfig | None = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> NwayCpResult:
     """Boolean CP decomposition of an N-way binary tensor (N >= 2).
 
@@ -217,6 +225,14 @@ def cp_nway(
         Number of components (ignored when ``config`` is given).
     config:
         Full configuration.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; when given, the
+        restart stage runs through the stage-executor seam with per-task
+        span collection, exactly like the distributed engine's stages.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` the restart
+        stage reports ``stages_total``/``tasks_total`` and worker-side
+        metric increments into.
     """
     if tensor.ndim < 2:
         raise ValueError(f"cp_nway needs at least 2 modes, got {tensor.ndim}")
@@ -233,7 +249,9 @@ def cp_nway(
         for mode in range(tensor.ndim)
     ]
 
-    candidates = _solve_restarts(tensor, unfoldings, config)
+    candidates = _solve_restarts(
+        tensor, unfoldings, config, tracer=tracer, metrics=metrics
+    )
     best: NwayCpResult | None = None
     for candidate in candidates:
         if best is None or candidate.error < best.error:
@@ -272,15 +290,20 @@ def _solve_restarts(
     tensor: SparseBoolTensor,
     unfoldings: list[np.ndarray],
     config: NwayCpConfig,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> list["NwayCpResult"]:
     """All initial-set candidates, in restart order.
 
     With a parallel backend and more than one restart, the independent
     solves run concurrently (one task per restart) through the same
-    stage-executor seam the distributed engine uses.
+    stage-executor seam the distributed engine uses.  With a tracer or a
+    metrics registry attached, the stage always goes through the backend so
+    the observability payloads are collected regardless of backend choice.
     """
     restarts = list(range(config.n_initial_sets))
-    if config.backend == "serial" or config.n_initial_sets == 1:
+    observing = tracer is not None or metrics is not None
+    if not observing and (config.backend == "serial" or config.n_initial_sets == 1):
         return [
             _solve_once(
                 tensor, unfoldings, config, np.random.default_rng(config.seed + r)
@@ -288,11 +311,33 @@ def _solve_restarts(
             for r in restarts
         ]
     task = _RestartTask(tensor, unfoldings, config)
+    started = time.perf_counter()
     with make_backend(config.backend, config.n_workers) as backend:
-        results, _durations, _failures = backend.run_stage(
-            "cpNway.restarts", task, [(r, [r]) for r in restarts]
+        stage = backend.run_stage(
+            "cpNway.restarts",
+            task,
+            [(r, [r]) for r in restarts],
+            collect_trace=tracer is not None,
         )
-    return [candidate for partition in results for candidate in partition]
+    wall_time = time.perf_counter() - started
+    if metrics is not None:
+        metrics.counter("stages_total").inc()
+        metrics.counter("tasks_total", stage="cpNway.restarts").inc(
+            len(stage.durations)
+        )
+        for deltas in stage.metric_deltas:
+            if deltas:
+                metrics.merge_deltas(deltas)
+    if tracer is not None:
+        stage_span_id = tracer.add_span(
+            "cpNway.restarts", SpanKind.STAGE, start=started, duration=wall_time,
+            n_tasks=len(stage.durations),
+            task_failures=sum(stage.failure_counts),
+        )
+        for task_trace in stage.traces:
+            if task_trace is not None:
+                tracer.graft(stage_span_id, task_trace)
+    return [candidate for partition in stage.results for candidate in partition]
 
 
 def _solve_once(

@@ -1,0 +1,222 @@
+"""Trace and metrics exporters.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per span, the
+  archival format benchmarks and offline analysis read back;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome trace
+  event format, loadable in ``chrome://tracing`` or https://ui.perfetto.dev
+  (complete ``X`` events for spans, instant ``i`` events for transfers);
+* :func:`render_report` — a plain-text summary for terminals, combining
+  the per-stage span aggregates with the metrics registry.
+
+:func:`structural_tree` strips every wall-clock field and returns the
+nested structure the golden-trace and backend-invariance tests compare:
+names, kinds, attrs (partition ids, retry counts, byte counts), children.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .trace import SpanKind, SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .metrics import MetricsRegistry
+    from .trace import Tracer
+
+__all__ = [
+    "structural_tree",
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_report",
+]
+
+
+def _spans_of(trace: "Tracer | Iterable[SpanRecord]") -> list[SpanRecord]:
+    spans = getattr(trace, "spans", trace)
+    return list(spans)
+
+
+# ----------------------------------------------------------------------
+# Structural (duration-free) view
+# ----------------------------------------------------------------------
+def structural_tree(trace: "Tracer | Iterable[SpanRecord]") -> list[dict[str, Any]]:
+    """The span tree without any timing — the backend-invariant part.
+
+    Children are ordered by span id, which the driver assigns
+    deterministically (stages in execution order, tasks in partition
+    order, kernels in call order), so two runs with identical structure
+    serialize to identical JSON.
+    """
+    spans = sorted(_spans_of(trace), key=lambda s: s.span_id)
+    nodes: dict[int, dict[str, Any]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in spans:
+        node = {
+            "name": span.name,
+            "kind": span.kind,
+            "attrs": {k: span.attrs[k] for k in sorted(span.attrs)},
+            "children": [],
+        }
+        nodes[span.span_id] = node
+        if span.parent_id is None or span.parent_id not in nodes:
+            roots.append(node)
+        else:
+            nodes[span.parent_id]["children"].append(node)
+    return roots
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(trace: "Tracer | Iterable[SpanRecord]") -> str:
+    """One JSON object per span, sorted by span id."""
+    spans = sorted(_spans_of(trace), key=lambda s: s.span_id)
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True) for span in spans)
+
+
+def write_jsonl(trace: "Tracer | Iterable[SpanRecord]", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(trace))
+        handle.write("\n")
+
+
+def read_jsonl(path: str) -> list[SpanRecord]:
+    """Load spans written by :func:`write_jsonl`."""
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            spans.append(
+                SpanRecord(
+                    span_id=raw["span_id"],
+                    parent_id=raw["parent_id"],
+                    name=raw["name"],
+                    kind=raw["kind"],
+                    start=raw["start"],
+                    duration=raw["duration"],
+                    attrs=raw.get("attrs", {}),
+                )
+            )
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace event format
+# ----------------------------------------------------------------------
+def to_chrome_trace(trace: "Tracer | Iterable[SpanRecord]") -> dict[str, Any]:
+    """Convert spans to the Chrome ``traceEvents`` JSON structure.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps relative to the earliest span; transfers become instant
+    (``"ph": "i"``) events.  The span kind maps to the thread id row so
+    stages, tasks, and kernels land on separate tracks.
+    """
+    spans = sorted(_spans_of(trace), key=lambda s: s.span_id)
+    base = min((span.start for span in spans), default=0.0)
+    track = {SpanKind.STAGE: 0, SpanKind.TASK: 1,
+             SpanKind.KERNEL: 2, SpanKind.TRANSFER: 3}
+    events = []
+    for span in spans:
+        common = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": 0,
+            "tid": track.get(span.kind, 4),
+            "ts": (span.start - base) * 1e6,
+            "args": {**span.attrs, "span_id": span.span_id,
+                     "parent_id": span.parent_id},
+        }
+        if span.kind == SpanKind.TRANSFER:
+            events.append({**common, "ph": "i", "s": "t"})
+        else:
+            events.append({**common, "ph": "X", "dur": span.duration * 1e6})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: "Tracer | Iterable[SpanRecord]", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(trace), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Plain text
+# ----------------------------------------------------------------------
+def render_report(
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> str:
+    """Human-readable summary of a traced run.
+
+    Aggregates stage spans by name (occurrences, tasks, kernel spans,
+    total span time) and appends transfer-byte attribution and the full
+    metrics exposition.  Either argument may be omitted.
+    """
+    lines: list[str] = []
+    if tracer is not None:
+        spans = _spans_of(tracer)
+        by_parent: dict[int | None, list[SpanRecord]] = {}
+        for span in spans:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+        stage_rows: dict[str, list[float]] = {}
+        order: list[str] = []
+        for span in spans:
+            if span.kind != SpanKind.STAGE:
+                continue
+            if span.name not in stage_rows:
+                stage_rows[span.name] = [0, 0, 0, 0.0]
+                order.append(span.name)
+            row = stage_rows[span.name]
+            row[0] += 1
+            tasks = [
+                child for child in by_parent.get(span.span_id, ())
+                if child.kind == SpanKind.TASK
+            ]
+            row[1] += len(tasks)
+            row[2] += sum(
+                _count_kernels(task.span_id, by_parent) for task in tasks
+            )
+            row[3] += span.duration
+        lines.append("stage                            runs  tasks  kernels  seconds")
+        lines.append("-" * 66)
+        for name in order:
+            runs, tasks, kernels, seconds = stage_rows[name]
+            lines.append(
+                f"{name:<32} {runs:>4}  {tasks:>5}  {kernels:>7}  {seconds:8.4f}"
+            )
+        transfers: dict[tuple[str, str], int] = {}
+        for span in spans:
+            if span.kind == SpanKind.TRANSFER:
+                key = (str(span.attrs.get("transfer", "?")), span.name)
+                transfers[key] = transfers.get(key, 0) + int(
+                    span.attrs.get("bytes", 0)
+                )
+        if transfers:
+            lines.append("")
+            lines.append("transfer  stage                            bytes")
+            lines.append("-" * 52)
+            for (kind, name), n_bytes in sorted(transfers.items()):
+                lines.append(f"{kind:<9} {name:<32} {n_bytes}")
+    if metrics is not None:
+        if lines:
+            lines.append("")
+        lines.append("metrics")
+        lines.append("-" * 7)
+        lines.append(metrics.to_text())
+    return "\n".join(lines)
+
+
+def _count_kernels(span_id: int, by_parent: dict) -> int:
+    total = 0
+    for child in by_parent.get(span_id, ()):
+        if child.kind == SpanKind.KERNEL:
+            total += 1 + _count_kernels(child.span_id, by_parent)
+    return total

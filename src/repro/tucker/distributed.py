@@ -30,6 +30,7 @@ import numpy as np
 
 from ..bitops import BitMatrix, boolean_matmul, packing
 from ..core.cache import RowSummationCache
+from ..observability.trace import kernel_span
 from ..core.decompose import prepare_partitioned_unfoldings
 from ..core.partition import PartitionData
 from ..distengine import DEFAULT_CLUSTER, Distributed, SimulatedRuntime
@@ -68,6 +69,16 @@ class TuckerCachedPartition:
         caches: dict[int, tuple[RowSummationCache, np.ndarray]] = {}
         # (block, cache, sliced tables, coverage rows sliced, tensor words)
         self.entries: list[tuple] = []
+        build_span = kernel_span(
+            "tucker.cacheBuild", n_blocks=len(data.plan.blocks)
+        )
+        with build_span:
+            self._build(data, outer, inner, inner_dense, caches,
+                        core_perm, group_size)
+            build_span.set(n_patterns=len(caches))
+
+    def _build(self, data, outer, inner, inner_dense, caches,
+               core_perm, group_size) -> None:
         for block, tensor_words in zip(data.plan.blocks, data.block_words):
             pattern = outer.row_mask(block.pvm_index)
             if pattern not in caches:
@@ -100,6 +111,13 @@ class TuckerCachedPartition:
         Unlike CP, the cache key is the target row's mask alone — the outer
         factor's influence is baked into each block's pattern table.
         """
+        with kernel_span("tucker.columnErrors", rows=self.n_rows,
+                         column=column, n_blocks=len(self.entries)):
+            return self._column_errors(masks_if_zero, column)
+
+    def _column_errors(
+        self, masks_if_zero: np.ndarray, column: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         error_if_zero = np.zeros(self.n_rows, dtype=np.int64)
         delta_if_one = np.zeros(self.n_rows, dtype=np.int64)
         keys = None

@@ -1,0 +1,27 @@
+"""Shared pytest configuration.
+
+Adds ``--update-goldens``: golden-fixture tests (see
+``test_observability_golden.py``) rewrite their checked-in snapshots
+instead of comparing against them.  Run it after an intentional change to
+the trace structure::
+
+    PYTHONPATH=src python -m pytest tests/test_observability_golden.py \
+        --update-goldens
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden fixtures from the current run instead of "
+             "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")

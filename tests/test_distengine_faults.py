@@ -109,3 +109,87 @@ class TestDbtfUnderFaults:
         assert clean.factors == faulty.factors
         assert clean.error == faulty.error
         assert faulty_runtime.total_task_failures > 0
+
+
+def _double(x):
+    """Module-level map function so the process backend can pickle it."""
+    return x * 2
+
+
+def _increment(x):
+    return x + 1
+
+
+class TestFaultDeterminismAcrossBackends:
+    """The injector's decisions — and therefore the retry counters the
+    metrics registry ends up with — must not depend on the stage executor.
+    """
+
+    def _retry_counters(self, backend):
+        runtime = SimulatedRuntime(
+            ClusterConfig(n_machines=2, cores_per_machine=2, backend=backend,
+                          n_workers=2),
+            fault_injector=FaultInjector(failure_rate=0.4, max_retries=5,
+                                         seed=11),
+        )
+        try:
+            rdd = runtime.parallelize(list(range(24)), n_partitions=6)
+            rdd.map(_double, name="double")
+            rdd.map(_increment, name="increment")
+        finally:
+            runtime.close()
+        return (
+            runtime.metrics.counters().get("task_failures_total", {}),
+            runtime.task_failures,
+        )
+
+    def test_registry_retry_counters_backend_invariant(self):
+        serial_counters, serial_facade = self._retry_counters("serial")
+        assert serial_facade  # the fixed spec does inject failures
+        for backend in ("thread", "process"):
+            counters, facade = self._retry_counters(backend)
+            assert counters == serial_counters
+            assert facade == serial_facade
+
+    def test_facade_reads_registry(self):
+        counters, facade = self._retry_counters("serial")
+        assert facade == {
+            dict(labels)["stage"]: int(value)
+            for labels, value in counters.items()
+        }
+
+
+class TestTaskFailedErrorPayload:
+    def _raise_exhausted(self, backend):
+        runtime = SimulatedRuntime(
+            ClusterConfig(n_machines=1, cores_per_machine=1, backend=backend,
+                          n_workers=2),
+            fault_injector=FaultInjector(failure_rate=0.95, max_retries=0,
+                                         seed=0),
+        )
+        try:
+            rdd = runtime.parallelize(list(range(8)), n_partitions=4)
+            with pytest.raises(TaskFailedError) as excinfo:
+                rdd.map(_increment, name="doomed")
+        finally:
+            runtime.close()
+        return excinfo.value
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_error_carries_stage_and_partition(self, backend):
+        error = self._raise_exhausted(backend)
+        assert error.stage == "doomed"
+        assert isinstance(error.partition, int)
+        # Message is self-contained too, for logs that only keep the text.
+        assert "doomed" in str(error)
+        assert f"task {error.partition} " in str(error)
+
+    def test_attributes_survive_pickling(self):
+        import pickle
+
+        original = TaskFailedError("task 3 of stage 's' failed 2 times",
+                                   stage="s", partition=3)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.stage == "s"
+        assert clone.partition == 3
+        assert str(clone) == str(original)

@@ -61,3 +61,63 @@ class TestSpeedupShape:
         rdd.map(lambda x: x)
         report = runtime.report(8)
         assert report.simulated_time == pytest.approx(runtime.simulated_time(8))
+
+
+class TestResetRegression:
+    """``reset()`` must leave no residue in any accounting channel.
+
+    Regression for the network-bytes double-count class of bug: a
+    broadcast-heavy workload run, reset, and re-run on the *same* runtime
+    must report exactly the bytes of one run — ``_broadcast_base_bytes``,
+    the ledger, the metrics registry, and the tracer all start over.
+    """
+
+    def _workload(self, runtime):
+        runtime.broadcast([1] * 100, name="factors")
+        rdd = runtime.parallelize(list(range(12)), n_partitions=3)
+        return rdd.map(lambda x: x + 1).collect(name="gather")
+
+    def test_network_bytes_not_double_counted_after_reset(self):
+        runtime = SimulatedRuntime(ClusterConfig(tracing=True))
+        self._workload(runtime)
+        first = runtime.report()
+        runtime.reset()
+        self._workload(runtime)
+        second = runtime.report()
+        assert second.network_bytes == first.network_bytes
+        assert second.shuffle_bytes == first.shuffle_bytes
+        assert second.broadcast_bytes == first.broadcast_bytes
+        assert second.collect_bytes == first.collect_bytes
+        assert second.n_stages == first.n_stages
+
+    def test_reset_clears_metrics_and_trace(self):
+        runtime = SimulatedRuntime(ClusterConfig(tracing=True))
+        self._workload(runtime)
+        assert runtime.metrics.value("stages_total") == 1.0
+        assert len(runtime.tracer) > 0
+        runtime.reset()
+        assert len(runtime.metrics) == 0
+        assert len(runtime.tracer) == 0
+        self._workload(runtime)
+        assert runtime.metrics.value("stages_total") == 1.0
+
+    def test_transfer_counter_matches_ledger_after_reset(self):
+        runtime = SimulatedRuntime(ClusterConfig(tracing=True))
+        self._workload(runtime)
+        runtime.reset()
+        self._workload(runtime)
+        report = runtime.report()
+        counted = sum(
+            value
+            for _labels, value in runtime.metrics.counters()
+            .get("transfer_bytes_total", {})
+            .items()
+        )
+        # Broadcast bytes in the report are per-machine; the ledger (and
+        # the counter) store the single-copy base bytes.
+        base_network = (
+            report.shuffle_bytes
+            + report.collect_bytes
+            + report.broadcast_bytes // report.n_machines
+        )
+        assert counted == base_network

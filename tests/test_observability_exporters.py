@@ -1,0 +1,126 @@
+"""Tests for the trace/metrics exporters."""
+
+import json
+
+from repro.observability import (
+    MetricsRegistry,
+    SpanKind,
+    Tracer,
+    read_jsonl,
+    render_report,
+    structural_tree,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.event("shuffleData", SpanKind.TRANSFER, transfer="shuffle", bytes=64)
+    stage_id = tracer.add_span(
+        "mapStage", SpanKind.STAGE, start=1.0, duration=0.5, n_tasks=2,
+        task_failures=0,
+    )
+    for partition in range(2):
+        tracer.graft(stage_id, {
+            "name": "mapStage",
+            "start": 0.0,
+            "duration": 0.1,
+            "attrs": {"partition": partition, "retries": 0},
+            "kernels": [
+                {"id": 1, "parent": 0, "name": "matmul",
+                 "kind": SpanKind.KERNEL, "start": 0.0, "duration": 0.05,
+                 "attrs": {"m": 4}},
+            ],
+        })
+    return tracer
+
+
+class TestStructuralTree:
+    def test_tree_shape(self):
+        roots = structural_tree(_sample_tracer())
+        assert [r["name"] for r in roots] == ["shuffleData", "mapStage"]
+        stage = roots[1]
+        assert [c["attrs"]["partition"] for c in stage["children"]] == [0, 1]
+        assert stage["children"][0]["children"][0]["name"] == "matmul"
+
+    def test_no_timing_fields(self):
+        def walk(node):
+            assert set(node) == {"name", "kind", "attrs", "children"}
+            for child in node["children"]:
+                walk(child)
+
+        for root in structural_tree(_sample_tracer()):
+            walk(root)
+
+    def test_attrs_sorted_for_stable_json(self):
+        tracer = Tracer()
+        tracer.add_span("s", SpanKind.STAGE, z=1, a=2)
+        tree = structural_tree(tracer)
+        assert list(tree[0]["attrs"]) == ["a", "z"]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(tracer, path)
+        assert read_jsonl(path) == sorted(
+            tracer.spans, key=lambda span: span.span_id
+        )
+
+    def test_one_object_per_line(self):
+        lines = to_jsonl(_sample_tracer()).splitlines()
+        assert len(lines) == 6  # 1 transfer + 1 stage + 2 * (task + kernel)
+        ids = [json.loads(line)["span_id"] for line in lines]
+        assert ids == sorted(ids)
+
+
+class TestChromeTrace:
+    def test_event_shapes(self):
+        payload = to_chrome_trace(_sample_tracer())
+        events = payload["traceEvents"]
+        assert len(events) == 6
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        assert len(by_phase["i"]) == 1  # the transfer
+        assert len(by_phase["X"]) == 5
+        stage = next(e for e in events if e["cat"] == SpanKind.STAGE)
+        assert stage["dur"] == 0.5 * 1e6  # microseconds
+        # Kind-to-track mapping keeps the levels on separate rows.
+        tracks = {e["cat"]: e["tid"] for e in events}
+        assert tracks == {"transfer": 3, "stage": 0, "task": 1, "kernel": 2}
+
+    def test_timestamps_relative_to_earliest(self):
+        payload = to_chrome_trace(_sample_tracer())
+        assert min(e["ts"] for e in payload["traceEvents"]) == 0.0
+
+    def test_write(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(_sample_tracer(), path)
+        with open(path) as handle:
+            assert "traceEvents" in json.load(handle)
+
+
+class TestRenderReport:
+    def test_stage_and_transfer_tables(self):
+        report = render_report(_sample_tracer())
+        assert "mapStage" in report
+        assert "shuffle" in report
+        # One stage run, two tasks, two kernel spans.
+        row = next(line for line in report.splitlines()
+                   if line.startswith("mapStage"))
+        assert row.split()[1:4] == ["1", "2", "2"]
+
+    def test_metrics_section(self):
+        registry = MetricsRegistry()
+        registry.counter("stages_total").inc(3)
+        report = render_report(None, registry)
+        assert "metrics" in report
+        assert "stages_total 3" in report
+
+    def test_empty_arguments(self):
+        assert render_report() == ""

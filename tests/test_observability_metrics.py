@@ -1,0 +1,133 @@
+"""Unit tests for the labelled-metrics registry."""
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.snapshot() == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.snapshot() == 3.0
+
+    def test_histogram_snapshot(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 55.5
+        assert snap["min"] == 0.5
+        assert snap["max"] == 50.0
+        assert snap["buckets"] == {1.0: 1, 10.0: 1}
+        assert snap["overflow"] == 1
+
+    def test_histogram_order_independent(self):
+        values = [0.003, 0.2, 7.0, 0.0001, 0.2]
+        forward, backward = Histogram(), Histogram()
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x", stage="a").inc()
+        registry.counter("x", stage="a").inc()
+        registry.counter("x", stage="b").inc(5)
+        assert registry.value("x", stage="a") == 2.0
+        assert registry.value("x", stage="b") == 5.0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("x", b=1, a=2).inc()
+        assert registry.value("x", a=2, b=1) == 1.0
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_value_defaults_to_zero(self):
+        assert MetricsRegistry().value("never_reported") == 0.0
+
+    def test_merge_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", op="or").inc(1)
+        registry.merge_deltas([
+            ("ops", (("op", "or"),), "counter", 2.0),
+            ("temp", (), "gauge", 7.0),
+            ("lat", (), "histogram", 0.25),
+        ])
+        assert registry.value("ops", op="or") == 3.0
+        assert registry.value("temp") == 7.0
+        assert registry.histogram("lat").count == 1
+
+    def test_merge_deltas_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry().merge_deltas([("x", (), "summary", 1.0)])
+
+    def test_merge_order_invariant_for_counters(self):
+        deltas = [
+            ("ops", (("op", "or"),), "counter", 1.0),
+            ("ops", (("op", "xor"),), "counter", 2.0),
+            ("ops", (("op", "or"),), "counter", 3.0),
+        ]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.merge_deltas(deltas)
+        backward.merge_deltas(reversed(deltas))
+        assert forward.collect() == backward.collect()
+
+    def test_collect_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", z=1).inc()
+        registry.counter("a", y=1).inc()
+        names = [(name, labels) for name, labels, _, _ in registry.collect()]
+        assert names == sorted(names)
+
+    def test_counters_grouped_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("x", stage="a").inc(1)
+        registry.counter("x", stage="b").inc(2)
+        registry.gauge("g").set(9)
+        grouped = registry.counters()
+        assert grouped == {
+            "x": {(("stage", "a"),): 1.0, (("stage", "b"),): 2.0}
+        }
+
+    def test_to_text(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks_total", stage="map").inc(4)
+        registry.gauge("ratio").set(0.5)
+        registry.histogram("lat").observe(0.2)
+        text = registry.to_text()
+        assert 'tasks_total{stage="map"} 4' in text
+        assert "ratio 0.500000" in text
+        assert "lat count=1" in text
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        # The type table is cleared too: a different kind is now allowed.
+        registry.gauge("x").set(1)

@@ -1,0 +1,97 @@
+"""Property-based tests for the LPT scheduler (hypothesis).
+
+The cost replay rests on two functions: ``assign_tasks`` (which tasks run
+where) and ``makespan`` (when the stage finishes).  These properties pin
+down the contract the simulated-time numbers depend on:
+
+* every task is assigned to exactly one slot;
+* the makespan is never below the two classic lower bounds,
+  ``max(durations)`` and ``sum(durations) / n_slots``;
+* LPT stays within its Graham bound of ``4/3`` of the optimum
+  (checked against brute force on small instances);
+* ``makespan`` equals the realized completion time of ``assign_tasks``.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distengine.scheduler import assign_tasks, makespan
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=0,
+    max_size=40,
+)
+slots_strategy = st.integers(min_value=1, max_value=12)
+
+
+@given(durations=durations_strategy, n_slots=slots_strategy)
+def test_each_task_assigned_exactly_once(durations, n_slots):
+    assignments = assign_tasks(durations, n_slots)
+    assert len(assignments) == n_slots
+    flat = [index for slot in assignments for index in slot]
+    assert sorted(flat) == list(range(len(durations)))
+
+
+@given(durations=durations_strategy, n_slots=slots_strategy)
+def test_makespan_respects_lower_bounds(durations, n_slots):
+    span = makespan(durations, n_slots)
+    assert span >= 0.0
+    if durations:
+        assert span >= max(durations)
+        # Allow float-summation slack on the average-load bound.
+        assert span >= sum(durations) / n_slots - 1e-9 * max(1.0, sum(durations))
+
+
+@given(durations=durations_strategy, n_slots=slots_strategy)
+def test_makespan_matches_assignment_completion_time(durations, n_slots):
+    assignments = assign_tasks(durations, n_slots)
+    realized = max(
+        (sum(durations[index] for index in slot) for slot in assignments),
+        default=0.0,
+    )
+    assert abs(makespan(durations, n_slots) - realized) <= 1e-9 * max(
+        1.0, realized
+    )
+
+
+@given(
+    durations=durations_strategy,
+    n_slots=slots_strategy,
+    extra=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+def test_makespan_monotone_in_work(durations, n_slots, extra):
+    assert makespan(durations + [extra], n_slots) >= makespan(
+        durations, n_slots
+    ) - 1e-9
+
+
+def _optimal_makespan(durations, n_slots):
+    """Exact optimum by exhausting every task-to-slot assignment."""
+    best = float("inf")
+    for assignment in itertools.product(range(n_slots), repeat=len(durations)):
+        loads = [0.0] * n_slots
+        for index, slot in enumerate(assignment):
+            loads[slot] += durations[index]
+        best = min(best, max(loads))
+    return best
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1,
+        max_size=8,
+    ),
+    n_slots=st.integers(min_value=1, max_value=3),
+)
+def test_lpt_within_graham_bound_of_optimum(durations, n_slots):
+    """Graham (1969): LPT <= (4/3 - 1/(3m)) * OPT <= 4/3 * OPT."""
+    lpt = makespan(durations, n_slots)
+    opt = _optimal_makespan(durations, n_slots)
+    assert lpt <= (4.0 / 3.0) * opt + 1e-9 * max(1.0, opt)
