@@ -1,0 +1,62 @@
+"""Machine-readable benchmark emission for cross-PR regression tracking.
+
+Benchmark modules that support ``python benchmarks/bench_<name>.py`` call
+:func:`emit` to write a ``BENCH_<name>.json`` file at the repo root.  Each
+entry follows one schema so future PRs can diff runs mechanically::
+
+    {"name": str, "params": dict, "wall_s": float, "simulated_s": float|null}
+
+``wall_s`` is the best-of-N host wall-clock time; ``simulated_s`` is the
+engine's modeled cluster time (``SimulatedRuntime.simulated_time``) where
+the scenario has one, else ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "entry", "emit", "best_wall_time"]
+
+
+def entry(
+    name: str,
+    params: dict,
+    wall_s: float,
+    simulated_s: float | None = None,
+) -> dict:
+    """One benchmark record in the shared schema."""
+    return {
+        "name": name,
+        "params": params,
+        "wall_s": wall_s,
+        "simulated_s": simulated_s,
+    }
+
+
+def best_wall_time(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time of ``fn`` and its last return value."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def emit(filename: str, entries: list[dict]) -> pathlib.Path:
+    """Write ``entries`` to ``REPO_ROOT/filename`` and echo a summary."""
+    for record in entries:
+        missing = {"name", "params", "wall_s", "simulated_s"} - set(record)
+        if missing:
+            raise ValueError(f"benchmark entry missing fields: {sorted(missing)}")
+    path = REPO_ROOT / filename
+    path.write_text(json.dumps(entries, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(entries)} entries to {path}")
+    return path

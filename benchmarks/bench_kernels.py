@@ -60,3 +60,51 @@ def test_boolean_matmul(benchmark):
 def test_slice_bits(benchmark, packed_rows):
     sliced = benchmark(lambda: packing.slice_bits(packed_rows, 100, 3000))
     assert sliced.shape[0] == 512
+
+
+def main(argv=None) -> int:
+    """Time every kernel directly and write ``BENCH_kernels.json``."""
+    import argparse
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from _emit import best_wall_time, emit, entry
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(0)
+    packed = packing.pack_bits((rng.random((512, 4096)) < 0.1).astype(np.uint8))
+    rolled = np.roll(packed, 1, axis=0)
+    group = packing.pack_bits((rng.random((15, 512)) < 0.3).astype(np.uint8))
+    table = or_accumulate_table(group, 15)
+    keys = rng.integers(0, 2**15, size=(512, 64))
+    left = BitMatrix.random(256, 64, 0.2, rng)
+    right = BitMatrix.random(64, 1024, 0.2, rng)
+
+    scenarios = [
+        ("popcount_rows", {"rows": 512, "cols": 4096},
+         lambda: packing.popcount_rows(packed)),
+        ("xor_popcount_error", {"rows": 512, "cols": 4096},
+         lambda: int(packing.popcount_rows(packed ^ rolled).sum())),
+        ("cache_table_construction", {"group_size": 15},
+         lambda: or_accumulate_table(group, 15)),
+        ("cache_gather", {"keys": keys.size},
+         lambda: table[keys]),
+        ("boolean_matmul", {"shape": [256, 64, 1024]},
+         lambda: boolean_matmul(left, right)),
+        ("slice_bits", {"rows": 512, "start": 100, "stop": 3000},
+         lambda: packing.slice_bits(packed, 100, 3000)),
+    ]
+    entries = [
+        entry(name, params, best_wall_time(fn, args.repeats)[0])
+        for name, params, fn in scenarios
+    ]
+    emit("BENCH_kernels.json", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Resilience-path benchmarks: checkpoint overhead, retry + speculation cost.
+
+Two entry points share one scenario list:
+
+- ``python -m pytest benchmarks/bench_resilience.py`` runs the scenarios as
+  pytest-benchmark timings (``--benchmark-disable`` for a smoke check);
+- ``python benchmarks/bench_resilience.py [--smoke]`` times each scenario
+  directly and writes ``BENCH_resilience.json`` at the repo root via
+  :mod:`_emit`, so future PRs can diff ``wall_s``/``simulated_s``
+  mechanically.
+
+The interesting numbers: ``dbtf_checkpoint_on`` vs ``dbtf_checkpoint_off``
+bounds the snapshot overhead (the ``checkpoint=None`` fast path must be
+free), and the faulty-run scenarios show retry backoff and speculation
+changing the *simulated* makespan without touching wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.bitops import BitMatrix
+from repro.distengine import (
+    ClusterConfig,
+    FaultInjector,
+    RetryPolicy,
+    SimulatedRuntime,
+    SpeculationConfig,
+)
+from repro.resilience import (
+    CheckpointConfig,
+    CheckpointManager,
+    factors_state,
+)
+from repro.tensor import add_additive_noise, planted_tensor
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parent))
+from _emit import best_wall_time, emit, entry  # noqa: E402
+
+
+def _dbtf_state(dim: int = 512, rank: int = 8) -> dict:
+    """A realistically sized dbtf snapshot payload (3 bit-packed factors)."""
+    rng = np.random.default_rng(0)
+    factors = tuple(BitMatrix.random(dim, rank, 0.3, rng) for _ in range(3))
+    return {
+        "factors": factors_state(factors),
+        "errors": list(range(40, 20, -1)),
+        "converged": False,
+        "rng_state": np.random.default_rng(0).bit_generator.state,
+        "init_index": 0,
+    }
+
+
+def checkpoint_save(directory: str, state: dict) -> None:
+    manager = CheckpointManager(
+        CheckpointConfig(directory=directory, keep_last=2), "bench"
+    )
+    manager.save(0, state)
+
+
+def checkpoint_load(directory: str, state: dict):
+    manager = CheckpointManager(
+        CheckpointConfig(directory=directory, keep_last=2), "bench"
+    )
+    manager.save(0, state)
+    return manager.load_latest()
+
+
+def _dbtf_run(dim: int, checkpoint: CheckpointConfig | None):
+    from repro.core import dbtf
+
+    rng = np.random.default_rng(11)
+    tensor, _ = planted_tensor((dim, dim, dim), rank=2, factor_density=0.3, rng=rng)
+    tensor = add_additive_noise(tensor, 0.1, rng)
+    runtime = SimulatedRuntime(ClusterConfig(backend="serial"))
+    try:
+        dbtf(
+            tensor,
+            rank=2,
+            max_iterations=4,
+            n_partitions=4,
+            seed=0,
+            checkpoint=checkpoint,
+            runtime=runtime,
+        )
+    finally:
+        runtime.close()
+    return runtime
+
+
+def _faulty_run(speculation: SpeculationConfig | None):
+    runtime = SimulatedRuntime(
+        ClusterConfig(
+            n_machines=4, cores_per_machine=2, backend="serial",
+            speculation=speculation,
+        ),
+        fault_injector=FaultInjector(failure_rate=0.4, max_retries=10, seed=3),
+        retry_policy=RetryPolicy(max_retries=10, seed=0),
+    )
+    try:
+        data = runtime.parallelize(list(range(256)), n_partitions=16)
+        data.map_partitions_with_index(
+            lambda index, items: [sum(items)], name="work"
+        ).collect()
+    finally:
+        runtime.close()
+    return runtime
+
+
+# --- pytest-benchmark entry points -----------------------------------------
+
+def test_checkpoint_save(benchmark, tmp_path):
+    state = _dbtf_state()
+    benchmark(lambda: checkpoint_save(str(tmp_path), state))
+
+
+def test_checkpoint_load(benchmark, tmp_path):
+    state = _dbtf_state()
+    loaded = benchmark(lambda: checkpoint_load(str(tmp_path), state))
+    assert loaded is not None
+
+
+def test_dbtf_checkpoint_off(benchmark):
+    benchmark(lambda: _dbtf_run(16, None))
+
+
+def test_dbtf_checkpoint_on(benchmark, tmp_path):
+    benchmark(
+        lambda: _dbtf_run(
+            16, CheckpointConfig(directory=str(tmp_path), keep_last=2)
+        )
+    )
+
+
+def test_retry_backoff_makespan(benchmark):
+    runtime = benchmark(lambda: _faulty_run(None))
+    assert runtime.report().total_retry_wait > 0.0
+
+
+def test_speculation_makespan(benchmark):
+    runtime = benchmark(lambda: _faulty_run(SpeculationConfig()))
+    assert runtime.report().tasks_speculated > 0
+
+
+# --- machine-readable emission ---------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    dim = 16 if args.smoke else 48
+    state_dim = 128 if args.smoke else 512
+
+    entries = []
+    state = _dbtf_state(dim=state_dim)
+    with tempfile.TemporaryDirectory() as scratch:
+        wall, _ = best_wall_time(
+            lambda: checkpoint_save(scratch, state), args.repeats
+        )
+        entries.append(entry(
+            "checkpoint_save", {"factor_rows": state_dim, "rank": 8}, wall
+        ))
+        wall, _ = best_wall_time(
+            lambda: checkpoint_load(scratch, state), args.repeats
+        )
+        entries.append(entry(
+            "checkpoint_load", {"factor_rows": state_dim, "rank": 8}, wall
+        ))
+
+    wall, runtime = best_wall_time(lambda: _dbtf_run(dim, None), args.repeats)
+    entries.append(entry(
+        "dbtf_checkpoint_off", {"dim": dim, "rank": 2}, wall,
+        runtime.simulated_time(),
+    ))
+    with tempfile.TemporaryDirectory() as scratch:
+        wall, runtime = best_wall_time(
+            lambda: _dbtf_run(
+                dim, CheckpointConfig(directory=scratch, keep_last=2)
+            ),
+            args.repeats,
+        )
+    entries.append(entry(
+        "dbtf_checkpoint_on", {"dim": dim, "rank": 2}, wall,
+        runtime.simulated_time(),
+    ))
+
+    wall, runtime = best_wall_time(lambda: _faulty_run(None), args.repeats)
+    entries.append(entry(
+        "retry_backoff_makespan",
+        {"n_partitions": 16, "failure_rate": 0.4}, wall,
+        runtime.simulated_time(),
+    ))
+    wall, runtime = best_wall_time(
+        lambda: _faulty_run(SpeculationConfig()), args.repeats
+    )
+    entries.append(entry(
+        "speculation_makespan",
+        {"n_partitions": 16, "failure_rate": 0.4, "multiplier": 1.5}, wall,
+        runtime.simulated_time(),
+    ))
+
+    emit("BENCH_resilience.json", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ Quickstart::
 
 from .bitops import BitMatrix
 from .core import DbtfConfig, DecompositionResult, dbtf
+from .resilience import CheckpointConfig, RetryPolicy, SpeculationConfig
 from .tucker import BooleanTuckerConfig, BooleanTuckerResult, boolean_tucker
 from .tensor import (
     SparseBoolTensor,
@@ -39,6 +40,9 @@ __all__ = [
     "dbtf",
     "DbtfConfig",
     "DecompositionResult",
+    "CheckpointConfig",
+    "RetryPolicy",
+    "SpeculationConfig",
     "boolean_tucker",
     "BooleanTuckerConfig",
     "BooleanTuckerResult",

@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--metrics", action="store_true",
                            help="print the stage/transfer/metrics summary "
                                 "after the run (dbtf/nway-cp only)")
+    factorize.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                           help="snapshot the decomposition state into DIR "
+                                "at iteration boundaries "
+                                "(dbtf/tucker/nway-cp only)")
+    factorize.add_argument("--checkpoint-every", type=int, default=1,
+                           metavar="K",
+                           help="snapshot every K iterations (default 1)")
+    factorize.add_argument("--resume", action="store_true",
+                           help="resume from the newest intact snapshot in "
+                                "--checkpoint-dir before iterating")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -166,6 +176,25 @@ def _command_factorize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        if args.method not in ("dbtf", "tucker", "nway-cp"):
+            print(
+                f"--checkpoint-dir is only supported for dbtf, tucker, and "
+                f"nway-cp, not {args.method}",
+                file=sys.stderr,
+            )
+            return 2
+        from .resilience import CheckpointConfig
+
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
 
     tensor = load_tensor(args.tensor)
     tracer = metrics = None
@@ -194,6 +223,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 n_partitions=args.partitions,
                 backend=args.backend,
                 n_workers=args.workers,
+                checkpoint=checkpoint,
                 runtime=runtime,
             )
         finally:
@@ -237,6 +267,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 backend=args.backend,
                 n_workers=args.workers,
+                checkpoint=checkpoint,
             ),
             tracer=tracer,
             metrics=metrics,
@@ -253,6 +284,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 max_iterations=args.max_iterations,
                 n_initial_sets=args.initial_sets,
                 seed=args.seed,
+                checkpoint=checkpoint,
             ),
         )
         print(f"method         : Boolean Tucker (core {core_shape}, "

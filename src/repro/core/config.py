@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..distengine import BACKEND_NAMES, DEFAULT_CLUSTER, ClusterConfig
+from ..resilience import CheckpointConfig
 
 __all__ = ["DbtfConfig"]
 
@@ -67,6 +68,14 @@ class DbtfConfig:
         kernel`` plus transfer events) on the runtime's tracer; export it
         with :mod:`repro.observability`.  ``False`` (default) defers to
         ``cluster.tracing``.
+    checkpoint:
+        Iteration-level checkpointing
+        (:class:`~repro.resilience.CheckpointConfig`): snapshot the
+        decomposition state every ``every`` iterations into ``directory``
+        and, with ``resume=True``, continue a killed run bit-identically
+        from its newest intact snapshot.  ``None`` (default) disables
+        checkpointing entirely — the iteration loop pays a single ``None``
+        check.
     """
 
     rank: int
@@ -82,6 +91,7 @@ class DbtfConfig:
     backend: str | None = None
     n_workers: int | None = None
     tracing: bool = False
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:

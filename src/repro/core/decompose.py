@@ -13,6 +13,12 @@ import numpy as np
 
 from ..bitops import BitMatrix
 from ..distengine import Distributed, SimulatedRuntime, TransferKind
+from ..resilience import (
+    CheckpointManager,
+    config_fingerprint,
+    factors_from_state,
+    factors_state,
+)
 from ..tensor import MODE_FACTOR_ROLES, SparseBoolTensor, unfold
 from .config import DbtfConfig
 from .partition import (
@@ -155,6 +161,47 @@ def _update_all_factors(
     return (current[0], current[1], current[2]), error
 
 
+def _dbtf_fingerprint(tensor: SparseBoolTensor, config: DbtfConfig) -> str:
+    """Fingerprint of everything that shapes the dbtf iteration trajectory.
+
+    Stopping criteria (``max_iterations``, ``tolerance``) are deliberately
+    excluded: resuming a crashed run with a larger budget is legitimate and
+    continues the identical trajectory, whereas changing any field below
+    would silently produce a different decomposition.
+    """
+    return config_fingerprint(
+        {
+            "algorithm": "dbtf",
+            "rank": config.rank,
+            "seed": config.seed,
+            "initialization": config.initialization,
+            "init_density": config.init_density,
+            "n_initial_sets": config.n_initial_sets,
+            "n_partitions": config.resolved_partitions(),
+            "cache_group_size": config.cache_group_size,
+            "shape": list(tensor.shape),
+            "nnz": tensor.nnz,
+        }
+    )
+
+
+def _dbtf_state(
+    factors: Factors,
+    errors: list[int],
+    converged: bool,
+    rng: np.random.Generator,
+    init_index: int,
+) -> dict:
+    """The complete picklable state of a dbtf run at an iteration boundary."""
+    return {
+        "factors": factors_state(factors),
+        "errors": list(errors),
+        "converged": converged,
+        "rng_state": rng.bit_generator.state,
+        "init_index": init_index,
+    }
+
+
 def dbtf(
     tensor: SparseBoolTensor,
     rank: int | None = None,
@@ -195,33 +242,79 @@ def dbtf(
     if runtime is None:
         runtime = SimulatedRuntime(config.resolved_cluster())
 
+    manager = None
+    if config.checkpoint is not None:
+        manager = CheckpointManager(
+            config.checkpoint,
+            _dbtf_fingerprint(tensor, config),
+            metrics=runtime.metrics,
+            tracer=runtime.tracer,
+        )
+
     try:
         rng = np.random.default_rng(config.seed)
+        # The partitioned unfoldings are always rebuilt, resume or not —
+        # they are derived data (lineage recomputation, like Spark
+        # rebuilding a lost RDD), so checkpoints stay small: only the
+        # factors, error trace, and RNG state go to disk.
         mode_rdds = prepare_partitioned_unfoldings(
             tensor, config.resolved_partitions(), runtime
         )
 
-        # First iteration: try L initializations, keep the best (lines 5-8).
-        candidates = [
-            _initial_factors(tensor, config, rng)
-            for _ in range(config.n_initial_sets)
-        ]
-        best_factors, best_error = None, None
-        for candidate in candidates:
-            updated, error = _update_all_factors(mode_rdds, candidate, config, runtime)
-            if best_error is None or error < best_error:
-                best_factors, best_error = updated, error
-        factors, error = best_factors, best_error
+        resumed = None
+        if manager is not None and config.checkpoint.resume:
+            resumed = manager.load_latest()
+        if resumed is not None:
+            step, state = resumed
+            factors = factors_from_state(state["factors"])
+            errors = list(state["errors"])
+            converged = bool(state["converged"])
+            init_index = int(state["init_index"])
+            # RNG draws all happen during initialization, but restoring the
+            # generator state keeps any future rng consumer bit-identical.
+            rng.bit_generator.state = state["rng_state"]
+            start_iteration = step + 1
+        else:
+            # First iteration: try L initializations, keep the best
+            # (lines 5-8).
+            candidates = [
+                _initial_factors(tensor, config, rng)
+                for _ in range(config.n_initial_sets)
+            ]
+            best_factors, best_error, init_index = None, None, 0
+            for index, candidate in enumerate(candidates):
+                updated, error = _update_all_factors(
+                    mode_rdds, candidate, config, runtime
+                )
+                if best_error is None or error < best_error:
+                    best_factors, best_error, init_index = updated, error, index
+            factors = best_factors
 
-        errors = [error]
-        converged = False
+            errors = [best_error]
+            converged = False
+            start_iteration = 1
+            if manager is not None and manager.should_save(0):
+                manager.save(
+                    0, _dbtf_state(factors, errors, converged, rng, init_index)
+                )
+
         threshold = config.tolerance * max(tensor.nnz, 1)
-        for _ in range(1, config.max_iterations):
+        for iteration in range(start_iteration, config.max_iterations):
+            if converged:
+                break
             factors, error = _update_all_factors(mode_rdds, factors, config, runtime)
             improvement = errors[-1] - error
             errors.append(error)
             if improvement <= threshold:
                 converged = True
+            if manager is not None and (
+                manager.should_save(iteration) or converged
+            ):
+                manager.save(
+                    iteration,
+                    _dbtf_state(factors, errors, converged, rng, init_index),
+                )
+            if converged:
                 break
     finally:
         # Only tear down worker pools we created; a caller-supplied runtime

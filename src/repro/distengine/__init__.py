@@ -1,6 +1,7 @@
 """Simulated distributed engine (the offline Spark stand-in)."""
 
 from ..observability import MetricsRegistry, SpanKind, Tracer
+from ..resilience import RetryPolicy, SpeculationConfig, plan_speculation
 from .backends import (
     BACKEND_NAMES,
     Backend,
@@ -43,4 +44,7 @@ __all__ = [
     "Tracer",
     "SpanKind",
     "MetricsRegistry",
+    "RetryPolicy",
+    "SpeculationConfig",
+    "plan_speculation",
 ]

@@ -20,9 +20,12 @@ import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..faults import FaultInjector, TaskFailedError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ...resilience import RetryPolicy
 from ...observability.trace import (
     TaskTraceContext,
     activate_task_context,
@@ -55,6 +58,9 @@ class TaskOutcome:
     failures: int
     trace: dict | None = None
     metric_deltas: tuple = ()
+    #: Simulated backoff seconds this task spent waiting between retry
+    #: attempts (always 0.0 without a retry policy; never slept for real).
+    retry_wait: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,7 @@ class StageResult:
     failure_counts: list[int]
     traces: list = field(default_factory=list)
     metric_deltas: list = field(default_factory=list)
+    retry_waits: list = field(default_factory=list)
 
     @classmethod
     def from_outcomes(cls, outcomes: "Sequence[TaskOutcome]") -> "StageResult":
@@ -79,6 +86,7 @@ class StageResult:
             failure_counts=[outcome.failures for outcome in outcomes],
             traces=[outcome.trace for outcome in outcomes],
             metric_deltas=[outcome.metric_deltas for outcome in outcomes],
+            retry_waits=[outcome.retry_wait for outcome in outcomes],
         )
 
     def __iter__(self):
@@ -92,6 +100,7 @@ def execute_task(
     items: list,
     injector: FaultInjector | None,
     collect_trace: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> TaskOutcome:
     """Run one partition task, timing each attempt and retrying faults.
 
@@ -99,8 +108,16 @@ def execute_task(
     module-level so :class:`ProcessBackend` can pickle it).  With a fault
     injector, attempts chosen by the injector fail *after* doing their work
     — the lost attempt's duration still counts toward the stage, as on a
-    real cluster — and the task retries up to the injector's budget before
-    raising :class:`TaskFailedError`.
+    real cluster — and the task retries up to its budget before raising
+    :class:`TaskFailedError`.
+
+    A :class:`~repro.resilience.RetryPolicy` replaces the injector's fixed
+    ``max_retries`` with its own budget and charges a simulated exponential
+    backoff wait before each re-execution (accumulated in
+    ``TaskOutcome.retry_wait`` — never slept for real), optionally failing
+    the task once compute time plus backoff exceeds ``deadline_sec``.  The
+    backoff jitter is a seeded hash, so the wait accounting is identical
+    under every backend.
 
     With ``collect_trace`` a :class:`TaskTraceContext` is active for the
     whole call (all attempts), so kernel spans and metric increments from
@@ -115,6 +132,7 @@ def execute_task(
     task_time = 0.0
     attempt = 0
     failures = 0
+    retry_wait = 0.0
     try:
         while True:
             started = time.perf_counter()
@@ -127,27 +145,59 @@ def execute_task(
                 break
             failures += 1
             attempt += 1
-            if attempt > injector.max_retries:
+            max_retries = (
+                retry_policy.max_retries
+                if retry_policy is not None
+                else injector.max_retries
+            )
+            if attempt > max_retries:
                 raise TaskFailedError(
-                    f"task {index} of stage {stage_name!r} failed {attempt} times",
+                    f"task {index} of stage {stage_name!r} failed {attempt} "
+                    f"times (waited {retry_wait:.3f}s of simulated retry "
+                    f"backoff)",
                     stage=stage_name,
                     partition=index,
+                    attempts=attempt,
+                    retry_wait=retry_wait,
                 )
+            if retry_policy is not None:
+                retry_wait += retry_policy.backoff_delay(
+                    stage_name, index, attempt
+                )
+                deadline = retry_policy.deadline_sec
+                if deadline is not None and task_time + retry_wait > deadline:
+                    raise TaskFailedError(
+                        f"task {index} of stage {stage_name!r} failed "
+                        f"{attempt} times (waited {retry_wait:.3f}s of "
+                        f"simulated retry backoff): deadline of {deadline}s "
+                        f"exceeded",
+                        stage=stage_name,
+                        partition=index,
+                        attempts=attempt,
+                        retry_wait=retry_wait,
+                    )
     finally:
         if context is not None:
             deactivate_task_context()
     trace = None
     metric_deltas: tuple = ()
     if context is not None:
+        attrs = {"partition": index, "retries": failures}
+        if retry_wait > 0.0:
+            # Only present with a retry policy and actual retries, so the
+            # no-fault golden trace structure is unchanged.
+            attrs["retry_wait"] = retry_wait
         trace = {
             "name": stage_name,
             "start": 0.0,
             "duration": task_time,
-            "attrs": {"partition": index, "retries": failures},
+            "attrs": attrs,
             "kernels": context.kernels,
         }
         metric_deltas = context.metric_deltas()
-    return TaskOutcome(index, result, task_time, failures, trace, metric_deltas)
+    return TaskOutcome(
+        index, result, task_time, failures, trace, metric_deltas, retry_wait
+    )
 
 
 class Backend(ABC):
@@ -172,12 +222,15 @@ class Backend(ABC):
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
         collect_trace: bool = False,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> StageResult:
         """Run ``task_fn`` over every ``(index, items)`` pair.
 
         ``collect_trace`` asks each task to record its kernel spans and
         metric increments (see :func:`execute_task`); the driver grafts
-        them into its tracer afterwards.
+        them into its tracer afterwards.  ``retry_policy`` overrides the
+        injector's retry budget and charges simulated backoff waits (see
+        :func:`execute_task`).
         """
 
     def close(self) -> None:

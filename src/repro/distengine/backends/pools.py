@@ -48,11 +48,12 @@ class _PoolBackend(Backend):
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
         collect_trace: bool = False,
+        retry_policy=None,
     ) -> StageResult:
         futures = [
             self.executor.submit(
                 execute_task, task_fn, stage_name, index, items,
-                fault_injector, collect_trace,
+                fault_injector, collect_trace, retry_policy,
             )
             for index, items in indexed_partitions
         ]

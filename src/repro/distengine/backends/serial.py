@@ -32,10 +32,12 @@ class SerialBackend(Backend):
         indexed_partitions: Sequence[tuple[int, list]],
         fault_injector: FaultInjector | None = None,
         collect_trace: bool = False,
+        retry_policy=None,
     ) -> StageResult:
         outcomes = [
             execute_task(
-                task_fn, stage_name, index, items, fault_injector, collect_trace
+                task_fn, stage_name, index, items, fault_injector,
+                collect_trace, retry_policy,
             )
             for index, items in indexed_partitions
         ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..resilience import SpeculationConfig
 from .backends import BACKEND_NAMES
 
 __all__ = ["ClusterConfig", "DEFAULT_CLUSTER"]
@@ -56,6 +57,12 @@ class ClusterConfig:
         :class:`~repro.observability.Tracer`.  The trace *structure* is
         backend-invariant; only wall-clock fields differ.  Off by default
         because per-task span collection is not free.
+    speculation:
+        Straggler thresholds for modelled speculative execution
+        (:class:`~repro.resilience.SpeculationConfig`); the runtime folds
+        speculative duplicates into the simulated makespan and reports
+        them as counters/events.  ``None`` (the default) disables
+        speculation entirely.
     """
 
     n_machines: int = 16
@@ -66,6 +73,7 @@ class ClusterConfig:
     backend: str = "serial"
     n_workers: int | None = None
     tracing: bool = False
+    speculation: SpeculationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -105,6 +113,12 @@ class ClusterConfig:
     def with_tracing(self, tracing: bool = True) -> "ClusterConfig":
         """The same cluster with span tracing switched on (or off)."""
         return replace(self, tracing=tracing)
+
+    def with_speculation(
+        self, speculation: "SpeculationConfig | None"
+    ) -> "ClusterConfig":
+        """The same cluster with speculative execution (re)configured."""
+        return replace(self, speculation=speculation)
 
 
 DEFAULT_CLUSTER = ClusterConfig()

@@ -22,11 +22,12 @@ class InjectedTaskFailure(Exception):
 
 
 class TaskFailedError(RuntimeError):
-    """A task exhausted its retry budget.
+    """A task exhausted its retry budget or blew its deadline.
 
-    Carries the failing stage name and partition index both in the message
-    and as attributes, so observability consumers (and tests) can attribute
-    the failure without parsing text.
+    Carries the failing stage name, partition index, attempt count, and
+    accumulated simulated retry-backoff wait both in the message and as
+    attributes, so observability consumers (and tests) can attribute the
+    failure without parsing text.
     """
 
     def __init__(
@@ -34,16 +35,23 @@ class TaskFailedError(RuntimeError):
         message: str,
         stage: "str | None" = None,
         partition: "int | None" = None,
+        attempts: "int | None" = None,
+        retry_wait: float = 0.0,
     ):
         super().__init__(message)
         self.stage = stage
         self.partition = partition
+        self.attempts = attempts
+        self.retry_wait = retry_wait
 
     def __reduce__(self):
-        # Keep stage/partition across the process-pool pickle round-trip
-        # (the default exception reduce only replays ``args``).
+        # Keep the structured payload across the process-pool pickle
+        # round-trip (the default exception reduce only replays ``args``).
         message = self.args[0] if self.args else ""
-        return (type(self), (message, self.stage, self.partition))
+        return (
+            type(self),
+            (message, self.stage, self.partition, self.attempts, self.retry_wait),
+        )
 
 
 @dataclass(frozen=True)

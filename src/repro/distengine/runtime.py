@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..observability import MetricsRegistry, SpanKind, Tracer
+from ..resilience import RetryPolicy, SpeculationConfig, plan_speculation
 from .backends import Backend, make_backend
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
@@ -29,10 +30,18 @@ __all__ = ["SimulatedRuntime", "StageReport", "ExecutionReport"]
 
 @dataclass(frozen=True)
 class StageReport:
-    """Measured task durations of one stage (one task per partition)."""
+    """Measured task durations of one stage (one task per partition).
+
+    ``retry_waits`` and ``failure_counts`` are the per-task simulated
+    backoff waits and injected fault counts (empty tuples when the stage
+    ran without a retry policy / injector — treated as all-zero by the
+    cost replay).
+    """
 
     name: str
     durations: tuple[float, ...]
+    retry_waits: tuple[float, ...] = ()
+    failure_counts: tuple[int, ...] = ()
 
     @property
     def n_tasks(self) -> int:
@@ -41,6 +50,10 @@ class StageReport:
     @property
     def total_cpu_time(self) -> float:
         return sum(self.durations)
+
+    @property
+    def total_retry_wait(self) -> float:
+        return sum(self.retry_waits)
 
 
 @dataclass(frozen=True)
@@ -54,6 +67,10 @@ class ExecutionReport:
     collect_bytes: int
     simulated_time: float
     n_machines: int
+    #: Resilience accounting (zero when no retry policy / speculation ran).
+    total_retry_wait: float = 0.0
+    tasks_speculated: int = 0
+    speculative_wins: int = 0
 
     @property
     def network_bytes(self) -> int:
@@ -70,11 +87,22 @@ class SimulatedRuntime:
         backend: "str | Backend | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        speculation: "SpeculationConfig | None" = None,
     ):
         self.config = config
         self.ledger = ShuffleLedger()
         self.stages: list[StageReport] = []
         self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        # An explicit speculation config overrides the cluster config's.
+        self.speculation = (
+            speculation if speculation is not None else config.speculation
+        )
+        #: ``(stage, partition)`` pairs whose fault count tripped the retry
+        #: policy's ``blacklist_after`` threshold (observational, modelling
+        #: Spark's executor blacklisting).
+        self.blacklisted_partitions: set[tuple[str, int]] = set()
         self._broadcast_base_bytes = 0
         # Every runtime carries a metrics registry (counters are cheap and
         # back the task-failure facade); the tracer is opt-in via
@@ -156,10 +184,14 @@ class SimulatedRuntime:
         started = time.perf_counter()
         stage = self.backend.run_stage(
             stage_name, task_fn, indexed_partitions, self.fault_injector,
-            collect_trace=tracing,
+            collect_trace=tracing, retry_policy=self.retry_policy,
         )
         wall_time = time.perf_counter() - started
-        self.record_stage(stage_name, stage.durations)
+        self.record_stage(
+            stage_name, stage.durations,
+            retry_waits=stage.retry_waits,
+            failure_counts=stage.failure_counts,
+        )
 
         registry = self.metrics
         registry.counter("stages_total").inc()
@@ -172,6 +204,42 @@ class SimulatedRuntime:
         failures = sum(stage.failure_counts)
         if failures:
             self.count_task_failure(stage_name, failures)
+        total_wait = sum(stage.retry_waits)
+        if total_wait > 0.0:
+            wait_histogram = registry.histogram(
+                "retry_wait_seconds", stage=stage_name
+            )
+            for wait in stage.retry_waits:
+                if wait > 0.0:
+                    wait_histogram.observe(wait)
+            registry.counter("retry_wait_seconds_total").inc(total_wait)
+        if self.retry_policy is not None and failures:
+            for index, count in enumerate(stage.failure_counts):
+                if (
+                    self.retry_policy.should_blacklist(count)
+                    and (stage_name, index) not in self.blacklisted_partitions
+                ):
+                    self.blacklisted_partitions.add((stage_name, index))
+                    registry.counter(
+                        "partitions_blacklisted_total", stage=stage_name
+                    ).inc()
+        plan = None
+        if self.speculation is not None and failures:
+            # The plan is a pure function of deterministic inputs (fault
+            # counts, seeded backoff waits) plus measured durations; counts
+            # and events are recorded here, the makespan effect is replayed
+            # from the StageReport in ``simulated_time``.
+            plan = plan_speculation(
+                stage.durations, stage.retry_waits, stage.failure_counts,
+                self.speculation,
+            )
+            if plan.speculated:
+                registry.counter(
+                    "tasks_speculated_total", stage=stage_name
+                ).inc(len(plan.speculated))
+                registry.counter(
+                    "speculative_wins_total", stage=stage_name
+                ).inc(len(plan.wins))
         # Worker-side metric increments (cache builds, bitmatrix op counts)
         # merge in partition order; counters commute, so the totals are
         # identical under every backend.
@@ -187,10 +255,27 @@ class SimulatedRuntime:
             for task_trace in stage.traces:
                 if task_trace is not None:
                     self.tracer.graft(stage_span_id, task_trace)
+            if plan is not None:
+                for index in plan.speculated:
+                    self.tracer.event(
+                        stage_name, SpanKind.SPECULATION, partition=index,
+                        won=index in plan.wins,
+                    )
         return stage.results
 
-    def record_stage(self, name: str, durations: list[float]) -> None:
-        self.stages.append(StageReport(name, tuple(durations)))
+    def record_stage(
+        self,
+        name: str,
+        durations: list[float],
+        retry_waits: "list[float] | tuple[float, ...]" = (),
+        failure_counts: "list[int] | tuple[int, ...]" = (),
+    ) -> None:
+        self.stages.append(
+            StageReport(
+                name, tuple(durations), tuple(retry_waits),
+                tuple(failure_counts),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Failure accounting (registry-backed facade)
@@ -234,6 +319,7 @@ class SimulatedRuntime:
     def reset(self) -> None:
         self.ledger.reset()
         self.stages.clear()
+        self.blacklisted_partitions.clear()
         self._broadcast_base_bytes = 0
         self.metrics.reset()
         if self.tracer is not None:
@@ -251,6 +337,13 @@ class SimulatedRuntime:
         real Spark speed-ups sublinear).  Network: shuffle and collect bytes
         cross the network once; broadcast bytes are shipped once per
         machine.
+
+        Resilience folds in here: each task's simulated retry-backoff wait
+        extends its duration, and with speculation configured the modelled
+        duplicate caps a straggler's completion at the duplicate's finish
+        time (:func:`~repro.resilience.plan_speculation`) — so
+        ``ExecutionReport`` charges what a real cluster would have paid for
+        retries and recovered through speculation.
         """
         machines = n_machines if n_machines is not None else self.config.n_machines
         if machines <= 0:
@@ -261,7 +354,7 @@ class SimulatedRuntime:
             if not stage.durations:
                 continue
             waves = -(-stage.n_tasks // slots)  # ceil division
-            compute += makespan(stage.durations, slots)
+            compute += makespan(self._effective_durations(stage), slots)
             compute += waves * self.config.task_launch_overhead_sec
             compute += self.config.driver_latency_sec
         shuffle_bytes = self.ledger.bytes_of_kind(TransferKind.SHUFFLE)
@@ -283,8 +376,36 @@ class SimulatedRuntime:
         )
         return compute + network_time
 
+    def _effective_durations(self, stage: StageReport) -> tuple[float, ...]:
+        """A stage's per-task simulated durations with resilience applied.
+
+        Without retry waits this is the measured durations unchanged (the
+        pre-resilience cost model); with waits each task is extended by its
+        simulated backoff, and with speculation configured stragglers are
+        capped at their modelled duplicate's finish time.
+        """
+        if not stage.retry_waits or not any(stage.retry_waits):
+            if self.speculation is None or not any(stage.failure_counts):
+                return stage.durations
+        if self.speculation is not None:
+            plan = plan_speculation(
+                stage.durations, stage.retry_waits, stage.failure_counts,
+                self.speculation,
+            )
+            return plan.effective_durations
+        waits = stage.retry_waits or (0.0,) * stage.n_tasks
+        return tuple(
+            duration + wait
+            for duration, wait in zip(stage.durations, waits)
+        )
+
     def report(self, n_machines: int | None = None) -> ExecutionReport:
         machines = n_machines if n_machines is not None else self.config.n_machines
+        counters = self.metrics.counters()
+        speculated = sum(
+            counters.get("tasks_speculated_total", {}).values()
+        )
+        wins = sum(counters.get("speculative_wins_total", {}).values())
         return ExecutionReport(
             n_stages=len(self.stages),
             total_cpu_time=sum(stage.total_cpu_time for stage in self.stages),
@@ -293,4 +414,9 @@ class SimulatedRuntime:
             collect_bytes=self.ledger.bytes_of_kind(TransferKind.COLLECT),
             simulated_time=self.simulated_time(machines),
             n_machines=machines,
+            total_retry_wait=sum(
+                stage.total_retry_wait for stage in self.stages
+            ),
+            tasks_speculated=int(speculated),
+            speculative_wins=int(wins),
         )

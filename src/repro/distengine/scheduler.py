@@ -7,6 +7,13 @@ classic longest-processing-time (LPT) greedy: sort tasks by decreasing
 duration and always hand the next task to the least-loaded slot.  LPT is a
 4/3-approximation of the optimal makespan, which is more than accurate enough
 to reproduce the paper's machine-scalability curve (Fig. 7).
+
+Resilience feeds in upstream of this module: the durations the runtime
+replays here are *effective* per-task durations — measured compute time plus
+each task's simulated retry-backoff wait, with stragglers capped at their
+modelled speculative duplicate's finish time (see
+:meth:`~repro.distengine.runtime.SimulatedRuntime.simulated_time` and
+:func:`repro.resilience.plan_speculation`).
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ import numpy as np
 from ..bitops import BitMatrix, packing
 from ..distengine.backends import BACKEND_NAMES, make_backend
 from ..observability.trace import SpanKind
+from ..resilience import CheckpointConfig, CheckpointManager, config_fingerprint
 from ..tensor import SparseBoolTensor
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -39,6 +40,13 @@ class NwayCpConfig:
     ``backend``/``n_workers`` parallelize the independent restarts
     (``n_initial_sets``) across the stage-executor seam; the selected best
     result is identical under every backend.
+
+    ``checkpoint`` snapshots at *restart* granularity: every completed
+    restart's candidate is persisted, so a killed multi-restart sweep
+    resumes with only the interrupted restart re-solved.  Checkpointed
+    runs always solve restarts sequentially (a parallel stage has no
+    restart boundaries to snapshot at); the candidate set is identical
+    either way.
     """
 
     rank: int
@@ -48,6 +56,7 @@ class NwayCpConfig:
     seed: int = 0
     backend: str = "serial"
     n_workers: int | None = None
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -249,9 +258,14 @@ def cp_nway(
         for mode in range(tensor.ndim)
     ]
 
-    candidates = _solve_restarts(
-        tensor, unfoldings, config, tracer=tracer, metrics=metrics
-    )
+    if config.checkpoint is not None:
+        candidates = _solve_restarts_checkpointed(
+            tensor, unfoldings, config, tracer=tracer, metrics=metrics
+        )
+    else:
+        candidates = _solve_restarts(
+            tensor, unfoldings, config, tracer=tracer, metrics=metrics
+        )
     best: NwayCpResult | None = None
     for candidate in candidates:
         if best is None or candidate.error < best.error:
@@ -338,6 +352,70 @@ def _solve_restarts(
             if task_trace is not None:
                 tracer.graft(stage_span_id, task_trace)
     return [candidate for partition in stage.results for candidate in partition]
+
+
+def _nway_fingerprint(tensor: SparseBoolTensor, config: NwayCpConfig) -> str:
+    """Fingerprint of everything shaping the restart candidates.
+
+    Unlike the dbtf fingerprint, ``max_iterations``/``tolerance`` are
+    *included*: resume granularity is whole restarts, and a completed
+    restart solved under a different iteration budget is a different
+    candidate.  Backend/worker choices are excluded — they never change
+    results.
+    """
+    return config_fingerprint(
+        {
+            "algorithm": "cp_nway",
+            "rank": config.rank,
+            "seed": config.seed,
+            "n_initial_sets": config.n_initial_sets,
+            "max_iterations": config.max_iterations,
+            "tolerance": config.tolerance,
+            "shape": list(tensor.shape),
+            "nnz": tensor.nnz,
+        }
+    )
+
+
+def _solve_restarts_checkpointed(
+    tensor: SparseBoolTensor,
+    unfoldings: list[np.ndarray],
+    config: NwayCpConfig,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> list["NwayCpResult"]:
+    """Sequential restart sweep persisting every completed candidate.
+
+    The snapshot at step ``r`` holds the candidates of restarts ``0..r``;
+    resuming re-solves only the restarts after the newest snapshot.  Each
+    restart still derives its generator from ``seed + restart``, so the
+    candidate list is bit-identical to an uninterrupted sweep.
+    """
+    manager = CheckpointManager(
+        config.checkpoint,
+        _nway_fingerprint(tensor, config),
+        metrics=metrics,
+        tracer=tracer,
+    )
+    candidates: list[NwayCpResult] = []
+    start = 0
+    if config.checkpoint.resume:
+        loaded = manager.load_latest()
+        if loaded is not None:
+            step, state = loaded
+            candidates = list(state["candidates"])
+            start = step + 1
+    last = config.n_initial_sets - 1
+    for restart in range(start, config.n_initial_sets):
+        candidates.append(
+            _solve_once(
+                tensor, unfoldings, config,
+                np.random.default_rng(config.seed + restart),
+            )
+        )
+        if manager.should_save(restart) or restart == last:
+            manager.save(restart, {"candidates": list(candidates)})
+    return candidates
 
 
 def _solve_once(

@@ -49,8 +49,10 @@ class SpanKind:
     TASK = "task"
     KERNEL = "kernel"
     TRANSFER = "transfer"
+    CHECKPOINT = "checkpoint"
+    SPECULATION = "speculation"
 
-    ALL = (STAGE, TASK, KERNEL, TRANSFER)
+    ALL = (STAGE, TASK, KERNEL, TRANSFER, CHECKPOINT, SPECULATION)
 
 
 @dataclass(frozen=True)

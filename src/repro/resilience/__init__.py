@@ -1,0 +1,48 @@
+"""Resilience: checkpoint/resume, retry backoff, speculative execution.
+
+The three pillars a long-running distributed factorization needs to
+survive real clusters (ISSUE 3 / DESIGN.md §9):
+
+* :class:`CheckpointManager` / :class:`CheckpointConfig` — atomic,
+  integrity-checked, fingerprint-guarded iteration snapshots so a killed
+  ``dbtf`` / ``cp_nway`` / ``boolean_tucker`` run resumes bit-identically.
+* :class:`RetryPolicy` — exponential backoff with deterministic seeded
+  jitter, per-task deadlines, and partition blacklisting, replacing the
+  engine's fixed immediate-retry loop; waits are simulated and charged to
+  the cost model.
+* :func:`plan_speculation` / :class:`SpeculationConfig` — deterministic
+  straggler detection and modelled speculative duplicates folded into the
+  simulated makespan.
+
+This package sits *below* the engine: it may import ``repro.bitops`` and
+``repro.observability`` only, so ``distengine``, ``core``, ``nway``, and
+``tucker`` can all depend on it without cycles.
+"""
+
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointMismatchError,
+    config_fingerprint,
+    factors_from_state,
+    factors_state,
+)
+from .retry import RetryPolicy
+from .speculation import SpeculationConfig, SpeculationPlan, plan_speculation
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointManager",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "config_fingerprint",
+    "factors_state",
+    "factors_from_state",
+    "RetryPolicy",
+    "SpeculationConfig",
+    "SpeculationPlan",
+    "plan_speculation",
+]

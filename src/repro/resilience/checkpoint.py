@@ -1,0 +1,344 @@
+"""Iteration-level checkpointing: atomic snapshots, integrity, resume.
+
+A decomposition at DBTF's target scale runs for hours; losing every
+iteration to one driver crash is not acceptable for a production system.
+:class:`CheckpointManager` snapshots the decomposition state at iteration
+boundaries so a killed run resumes bit-identically:
+
+* **Atomic writes.**  Each snapshot is written to a temporary file in the
+  checkpoint directory and ``os.replace``-d into place, so a crash mid-write
+  can never leave a half-written file under a checkpoint name.
+* **Integrity.**  The file header carries a SHA-256 digest of the payload;
+  a truncated or corrupted snapshot is detected on load
+  (:class:`CheckpointCorruptError`) and :meth:`CheckpointManager.load_latest`
+  falls back to the newest intact predecessor.
+* **Config fingerprint.**  Every snapshot embeds a fingerprint of the
+  configuration that produced it (:func:`config_fingerprint`).  Resuming
+  under a different rank/seed/initialization would silently produce
+  garbage, so a mismatch refuses loudly
+  (:class:`CheckpointMismatchError`) instead of falling back.
+* **Retention.**  ``keep_last`` bounds disk usage; older snapshots are
+  pruned after each successful save.
+
+File format (version 1)::
+
+    magic "DBTFCKPT" | u32 version | 32-byte SHA-256(payload) | payload
+
+where the payload is a pickled ``{"fingerprint", "step", "state"}`` dict.
+Factor matrices inside the state are stored via :func:`factors_state` —
+explicit ``(n_rows, n_cols, packed-words bytes)`` triples rather than
+opaque object pickles — so the on-disk layout is deliberate and stable.
+
+Everything here is algorithm-agnostic: the DBTF driver, the N-way CP
+solver, and the Boolean Tucker solver each decide what goes in ``state``
+and at which steps to save (see ``docs/resilience.md`` for the state
+machine and determinism guarantees).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import struct
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..bitops import BitMatrix
+from ..observability.trace import SpanKind
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..observability import MetricsRegistry, Tracer
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointManager",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "config_fingerprint",
+    "factors_state",
+    "factors_from_state",
+]
+
+MAGIC = b"DBTFCKPT"
+FORMAT_VERSION = 1
+FILE_SUFFIX = ".ckpt"
+_HEADER = struct.Struct(f"<{len(MAGIC)}sI32s")
+_FILE_PATTERN = re.compile(r"^checkpoint-(\d{8})\.ckpt$")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A snapshot file is truncated, malformed, or fails its integrity hash."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A snapshot was produced under a different configuration fingerprint."""
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where, how often, and whether to resume.
+
+    Attributes
+    ----------
+    directory:
+        Directory for snapshot files (created on first use).
+    every:
+        Save at iteration ``i`` when ``i % every == 0``.
+    keep_last:
+        Number of newest snapshots retained; older ones are pruned after
+        each successful save.
+    resume:
+        Restore from the newest intact snapshot before iterating.  With no
+        snapshot on disk the run starts fresh (so one flag works for both
+        the first launch and every relaunch of a job).
+    """
+
+    directory: "str | os.PathLike"
+    every: int = 1
+    keep_last: int = 2
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if not str(self.directory):
+            raise ValueError("checkpoint directory must be non-empty")
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {self.keep_last}")
+
+
+def config_fingerprint(fields: dict[str, Any]) -> str:
+    """Stable hex digest of the configuration fields that shape a run.
+
+    Canonical JSON (sorted keys, non-JSON values stringified) hashed with
+    SHA-256.  Callers pass exactly the fields that determine the iteration
+    trajectory — e.g. rank, seed, initialization, partition count, tensor
+    shape — and *omit* pure stopping criteria such as ``max_iterations``,
+    so a crashed run may legitimately resume with a larger budget.
+    """
+    canonical = json.dumps(fields, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def factors_state(factors: "tuple[BitMatrix, ...]") -> list[dict[str, Any]]:
+    """Explicit serializable form of bit-packed factor matrices."""
+    return [
+        {
+            "n_rows": factor.n_rows,
+            "n_cols": factor.n_cols,
+            "words": factor.words.tobytes(),
+        }
+        for factor in factors
+    ]
+
+
+def factors_from_state(state: "list[dict[str, Any]]") -> tuple[BitMatrix, ...]:
+    """Rebuild factor matrices saved by :func:`factors_state`."""
+    factors = []
+    for entry in state:
+        words = np.frombuffer(entry["words"], dtype=np.uint64).reshape(
+            entry["n_rows"], -1
+        )
+        factors.append(
+            BitMatrix(entry["n_rows"], entry["n_cols"], words.copy())
+        )
+    return tuple(factors)
+
+
+class CheckpointManager:
+    """Writes, validates, prunes, and restores snapshot files.
+
+    One manager serves one run: it is bound to the run's configuration
+    fingerprint, and optionally to the runtime's metrics registry and
+    tracer so saves and resumes surface in observability
+    (``checkpoints_written_total``, ``checkpoint_bytes_total``,
+    ``checkpoints_pruned_total``, ``checkpoint_resumes_total`` and
+    ``checkpoint`` trace events).
+    """
+
+    def __init__(
+        self,
+        config: CheckpointConfig,
+        fingerprint: str,
+        metrics: "MetricsRegistry | None" = None,
+        tracer: "Tracer | None" = None,
+    ):
+        self.config = config
+        self.fingerprint = fingerprint
+        self.metrics = metrics
+        self.tracer = tracer
+        self.directory = os.fspath(config.directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # File naming
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> str:
+        """The snapshot path for iteration ``step``."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        return os.path.join(self.directory, f"checkpoint-{step:08d}{FILE_SUFFIX}")
+
+    def checkpoints(self) -> list[tuple[int, str]]:
+        """``(step, path)`` for every snapshot on disk, oldest first."""
+        entries = []
+        for name in os.listdir(self.directory):
+            match = _FILE_PATTERN.match(name)
+            if match:
+                entries.append((int(match.group(1)), os.path.join(self.directory, name)))
+        return sorted(entries)
+
+    def should_save(self, step: int) -> bool:
+        """Whether the cadence (``every``) asks for a save at ``step``."""
+        return step % self.config.every == 0
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, step: int, state: dict[str, Any]) -> str:
+        """Atomically write one snapshot; returns its final path.
+
+        The payload is serialized and hashed first, written to a temporary
+        file in the same directory, then renamed into place — a crash at
+        any point leaves either the previous snapshot set or the new one,
+        never a torn file under a checkpoint name.
+        """
+        payload = pickle.dumps(
+            {"fingerprint": self.fingerprint, "step": step, "state": state},
+            protocol=4,
+        )
+        digest = hashlib.sha256(payload).digest()
+        path = self.path_for(step)
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        with open(temp_path, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION, digest))
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+        if self.metrics is not None:
+            self.metrics.counter("checkpoints_written_total").inc()
+            self.metrics.counter("checkpoint_bytes_total").inc(
+                _HEADER.size + len(payload)
+            )
+        if self.tracer is not None:
+            self.tracer.event(
+                "checkpoint", kind=SpanKind.CHECKPOINT, step=step,
+                bytes=_HEADER.size + len(payload),
+            )
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        """Delete everything but the ``keep_last`` newest snapshots."""
+        entries = self.checkpoints()
+        excess = entries[: max(0, len(entries) - self.config.keep_last)]
+        for _step, path in excess:
+            try:
+                os.remove(path)
+            except OSError:  # already gone; retention is best-effort
+                continue
+            if self.metrics is not None:
+                self.metrics.counter("checkpoints_pruned_total").inc()
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, path: str) -> tuple[int, dict[str, Any]]:
+        """Load and validate one snapshot file.
+
+        Raises :class:`CheckpointCorruptError` on any structural problem
+        (bad magic, unknown version, hash mismatch, truncation) and
+        :class:`CheckpointMismatchError` when the embedded configuration
+        fingerprint differs from this manager's.
+        """
+        try:
+            with open(path, "rb") as handle:
+                header = handle.read(_HEADER.size)
+                payload = handle.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(f"cannot read {path}: {exc}") from exc
+        if len(header) < _HEADER.size:
+            raise CheckpointCorruptError(f"{path} is truncated (no full header)")
+        magic, version, digest = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise CheckpointCorruptError(f"{path} is not a DBTF checkpoint file")
+        if version != FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"{path} has format version {version}; this build reads "
+                f"version {FORMAT_VERSION}"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise CheckpointCorruptError(
+                f"{path} failed its integrity check (payload hash mismatch "
+                f"— truncated or corrupted on disk)"
+            )
+        try:
+            document = pickle.loads(payload)
+        except Exception as exc:  # hash passed but unpicklable: corrupt
+            raise CheckpointCorruptError(
+                f"{path} payload does not deserialize: {exc}"
+            ) from exc
+        if document.get("fingerprint") != self.fingerprint:
+            raise CheckpointMismatchError(
+                f"{path} was written under a different configuration "
+                f"(fingerprint {document.get('fingerprint')!r} != "
+                f"{self.fingerprint!r}); refusing to resume — delete the "
+                f"checkpoint directory or rerun with the original config"
+            )
+        return int(document["step"]), document["state"]
+
+    def load_latest(self) -> "tuple[int, dict[str, Any]] | None":
+        """Restore the newest intact snapshot, falling back over corruption.
+
+        Corrupt files are skipped with a warning (newest-first), so a
+        snapshot torn by a crash costs at most one checkpoint interval.  A
+        fingerprint mismatch propagates immediately — older snapshots from
+        the same directory would mismatch too, and silently restarting
+        under the wrong config is exactly what the fingerprint exists to
+        prevent.  Returns ``None`` when the directory holds no snapshots;
+        raises :class:`CheckpointCorruptError` when snapshots exist but
+        every one of them is corrupt.
+        """
+        entries = self.checkpoints()
+        corrupt: list[str] = []
+        for step, path in reversed(entries):
+            try:
+                loaded = self.load(path)
+            except CheckpointCorruptError as exc:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                corrupt.append(path)
+                continue
+            if self.metrics is not None:
+                self.metrics.counter("checkpoint_resumes_total").inc()
+            if self.tracer is not None:
+                self.tracer.event("checkpoint_resume",
+                                  kind=SpanKind.CHECKPOINT, step=step)
+            return loaded
+        if corrupt:
+            raise CheckpointCorruptError(
+                f"all {len(corrupt)} checkpoint file(s) in "
+                f"{self.directory} are corrupt: {', '.join(corrupt)}"
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager(directory={self.directory!r}, "
+            f"every={self.config.every}, keep_last={self.config.keep_last})"
+        )

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..bitops import BitMatrix
+from ..resilience import CheckpointConfig, CheckpointManager, config_fingerprint
 from ..tensor import SparseBoolTensor
 
 __all__ = ["BooleanTuckerConfig", "BooleanTuckerResult", "boolean_tucker", "tucker_reconstruct"]
@@ -37,13 +38,21 @@ __all__ = ["BooleanTuckerConfig", "BooleanTuckerResult", "boolean_tucker", "tuck
 
 @dataclass(frozen=True)
 class BooleanTuckerConfig:
-    """Hyper-parameters of the Boolean Tucker solver."""
+    """Hyper-parameters of the Boolean Tucker solver.
+
+    ``checkpoint`` snapshots at *iteration* granularity within each
+    restart (the Tucker core update is the slowest loop in the repo), with
+    the snapshot step encoded as ``restart * max_iterations + iteration``
+    and the best completed-restart result carried along — so a killed
+    sweep resumes mid-restart, bit-identically.
+    """
 
     core_shape: tuple[int, int, int]
     max_iterations: int = 10
     tolerance: float = 0.0
     n_initial_sets: int = 1
     seed: int = 0
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         if len(self.core_shape) != 3 or any(r <= 0 for r in self.core_shape):
@@ -274,14 +283,84 @@ def boolean_tucker(
             raise ValueError("either core_shape or config must be provided")
         config = BooleanTuckerConfig(core_shape=core_shape)
 
+    manager = None
+    if config.checkpoint is not None:
+        manager = CheckpointManager(
+            config.checkpoint, _tucker_fingerprint(tensor, config)
+        )
+
     dense = tensor.to_dense()
     best: BooleanTuckerResult | None = None
-    for restart in range(config.n_initial_sets):
+    start_restart = 0
+    resume_state = None
+    if manager is not None and config.checkpoint.resume:
+        loaded = manager.load_latest()
+        if loaded is not None:
+            _step, state = loaded
+            best = state["best"]
+            start_restart = int(state["restart"])
+            resume_state = state
+    for restart in range(start_restart, config.n_initial_sets):
         rng = np.random.default_rng(config.seed + restart)
-        candidate = _solve_once(tensor, dense, config, rng)
+        save_fn = None
+        if manager is not None:
+            save_fn = _make_tucker_saver(manager, config, restart, best)
+        candidate = _solve_once(
+            tensor, dense, config, rng, save_fn=save_fn, resume=resume_state
+        )
+        resume_state = None
         if best is None or candidate.error < best.error:
             best = candidate
     return best
+
+
+def _tucker_fingerprint(
+    tensor: SparseBoolTensor, config: BooleanTuckerConfig
+) -> str:
+    """Fingerprint of everything shaping the Tucker trajectory.
+
+    ``max_iterations`` is included (the snapshot step encoding depends on
+    it) along with everything that would change the alternating updates.
+    """
+    return config_fingerprint(
+        {
+            "algorithm": "boolean_tucker",
+            "core_shape": list(config.core_shape),
+            "seed": config.seed,
+            "n_initial_sets": config.n_initial_sets,
+            "max_iterations": config.max_iterations,
+            "tolerance": config.tolerance,
+            "shape": list(tensor.shape),
+            "nnz": tensor.nnz,
+        }
+    )
+
+
+def _make_tucker_saver(
+    manager: CheckpointManager,
+    config: BooleanTuckerConfig,
+    restart: int,
+    best: "BooleanTuckerResult | None",
+):
+    """Bind one restart's snapshot writer for :func:`_solve_once`."""
+
+    def save(iteration, core, factors, errors, converged):
+        if not (manager.should_save(iteration) or converged):
+            return
+        manager.save(
+            restart * config.max_iterations + iteration,
+            {
+                "restart": restart,
+                "iteration": iteration,
+                "core": core.copy(),
+                "factors": tuple(factor.copy() for factor in factors),
+                "errors": list(errors),
+                "converged": converged,
+                "best": best,
+            },
+        )
+
+    return save
 
 
 def _solve_once(
@@ -289,19 +368,38 @@ def _solve_once(
     dense: np.ndarray,
     config: BooleanTuckerConfig,
     rng: np.random.Generator,
+    save_fn=None,
+    resume: "dict | None" = None,
 ) -> BooleanTuckerResult:
-    """One alternating-minimization run from one initialization."""
-    factors = _sampled_tucker_factors(tensor, config, rng)
-    # Hyper-diagonal initial core: component r glues the three fiber
-    # columns seeded from the same anchor (the CP special case).
-    core = np.zeros(config.core_shape, dtype=np.uint8)
-    for r in range(min(config.core_shape)):
-        core[r, r, r] = 1
+    """One alternating-minimization run from one initialization.
 
-    errors: list[int] = []
-    converged = False
+    ``resume`` is a checkpoint state for *this* restart: initialization is
+    skipped (its rng draws already happened before the snapshot) and the
+    loop continues from the saved iteration's core/factors/errors.
+    """
+    if resume is not None:
+        core = np.array(resume["core"], dtype=np.uint8)
+        factors = tuple(
+            np.array(factor, dtype=np.uint8) for factor in resume["factors"]
+        )
+        errors = list(resume["errors"])
+        converged = bool(resume["converged"])
+        start_iteration = int(resume["iteration"]) + 1
+    else:
+        factors = _sampled_tucker_factors(tensor, config, rng)
+        # Hyper-diagonal initial core: component r glues the three fiber
+        # columns seeded from the same anchor (the CP special case).
+        core = np.zeros(config.core_shape, dtype=np.uint8)
+        for r in range(min(config.core_shape)):
+            core[r, r, r] = 1
+        errors = []
+        converged = False
+        start_iteration = 0
+
     threshold = config.tolerance * max(tensor.nnz, 1)
-    for _ in range(config.max_iterations):
+    for iteration in range(start_iteration, config.max_iterations):
+        if converged:
+            break
         # Mode 1: rows are i, cells are (j, k) flattened.
         slabs = _coverage_slabs(core, factors[1], factors[2])
         new_a, error = _update_factor_dense(
@@ -332,10 +430,12 @@ def _solve_once(
         core, error = _update_core(dense, core, factors)
 
         if errors and errors[-1] - error <= threshold:
-            errors.append(error)
             converged = True
-            break
         errors.append(error)
+        if save_fn is not None:
+            save_fn(iteration, core, factors, errors, converged)
+        if converged:
+            break
 
     return BooleanTuckerResult(
         core=SparseBoolTensor.from_dense(core),

@@ -124,6 +124,46 @@ class TestFactorize:
         assert (out / "factor_3.mtx").exists()
 
 
+class TestFactorizeCheckpoint:
+    def test_dbtf_writes_checkpoints_and_resumes(
+        self, tensor_file, tmp_path, capsys
+    ):
+        path, _ = tensor_file
+        directory = tmp_path / "ckpt"
+        base = ["factorize", str(path), "--method", "dbtf", "--rank", "2",
+                "--max-iterations", "2", "--partitions", "4",
+                "--checkpoint-dir", str(directory)]
+        assert main(base) == 0
+        snapshots = sorted(p.name for p in directory.glob("*.ckpt"))
+        assert snapshots
+        assert main(base + ["--resume"]) == 0
+        assert "DBTF" in capsys.readouterr().out
+
+    def test_checkpoint_every_cadence(self, tensor_file, tmp_path):
+        path, _ = tensor_file
+        directory = tmp_path / "ckpt"
+        assert main(
+            ["factorize", str(path), "--method", "tucker",
+             "--core-shape", "2", "2", "2", "--max-iterations", "2",
+             "--checkpoint-dir", str(directory),
+             "--checkpoint-every", "2"]
+        ) == 0
+        assert list(directory.glob("*.ckpt"))
+
+    def test_resume_requires_checkpoint_dir(self, tensor_file, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "dbtf",
+                     "--rank", "2", "--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_checkpoint_unsupported_method(self, tensor_file, tmp_path, capsys):
+        path, _ = tensor_file
+        assert main(["factorize", str(path), "--method", "bcp-als",
+                     "--rank", "2",
+                     "--checkpoint-dir", str(tmp_path / "c")]) == 2
+        assert "only supported" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_table3(self, capsys):
         assert main(["experiment", "table3"]) == 0

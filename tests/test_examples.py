@@ -22,6 +22,7 @@ RUNNABLE = [
     "rank_selection",
     "multiway_logs",
     "custom_data",
+    "resume_after_kill",
 ]
 
 

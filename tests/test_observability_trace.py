@@ -204,4 +204,6 @@ class TestSpanRecord:
         }
 
     def test_kinds(self):
-        assert SpanKind.ALL == ("stage", "task", "kernel", "transfer")
+        assert SpanKind.ALL == (
+            "stage", "task", "kernel", "transfer", "checkpoint", "speculation"
+        )

@@ -16,6 +16,7 @@ MODULES = [
     "repro.experiments",
     "repro.tucker",
     "repro.nway",
+    "repro.resilience",
 ]
 
 

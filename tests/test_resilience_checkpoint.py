@@ -1,0 +1,219 @@
+"""Checkpoint file I/O: atomicity, integrity, fingerprints, retention."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix
+from repro.observability import MetricsRegistry
+from repro.resilience import (
+    CheckpointConfig,
+    CheckpointCorruptError,
+    CheckpointManager,
+    CheckpointMismatchError,
+    config_fingerprint,
+    factors_from_state,
+    factors_state,
+)
+from repro.resilience.checkpoint import FORMAT_VERSION, MAGIC, _HEADER
+
+
+def make_manager(tmp_path, fingerprint="fp", **config):
+    return CheckpointManager(
+        CheckpointConfig(directory=str(tmp_path), **config), fingerprint
+    )
+
+
+class TestCheckpointConfig:
+    def test_defaults(self, tmp_path):
+        config = CheckpointConfig(directory=str(tmp_path))
+        assert config.every == 1
+        assert config.keep_last == 2
+        assert config.resume is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"directory": ""},
+            {"directory": "d", "every": 0},
+            {"directory": "d", "every": -1},
+            {"directory": "d", "keep_last": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CheckpointConfig(**kwargs)
+
+
+class TestFingerprint:
+    def test_stable_and_order_insensitive(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"rank": 4}) != config_fingerprint({"rank": 5})
+
+    def test_non_json_values_stringified(self):
+        assert config_fingerprint({"shape": (3, 4)})  # no TypeError
+
+
+class TestFactorsState:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        factors = tuple(
+            BitMatrix.random(rows, 5, 0.4, rng) for rows in (17, 9, 70)
+        )
+        rebuilt = factors_from_state(factors_state(factors))
+        for original, restored in zip(factors, rebuilt):
+            assert restored.n_rows == original.n_rows
+            assert restored.n_cols == original.n_cols
+            assert (restored.words == original.words).all()
+
+    def test_rebuilt_factors_are_writable(self):
+        factors = factors_from_state(factors_state((BitMatrix.zeros(4, 4),)))
+        factors[0].set(0, 0, 1)  # frombuffer memory must have been copied
+        assert factors[0].get(0, 0) == 1
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = make_manager(tmp_path)
+        state = {"errors": [5, 3], "note": "x"}
+        path = manager.save(3, state)
+        assert os.path.basename(path) == "checkpoint-00000003.ckpt"
+        step, loaded = manager.load(path)
+        assert step == 3
+        assert loaded == state
+
+    def test_no_temp_files_left(self, tmp_path):
+        manager = make_manager(tmp_path)
+        manager.save(0, {"a": 1})
+        assert all(
+            name.endswith(".ckpt") for name in os.listdir(str(tmp_path))
+        )
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        assert make_manager(tmp_path).load_latest() is None
+
+    def test_load_latest_picks_newest(self, tmp_path):
+        manager = make_manager(tmp_path, keep_last=10)
+        for step in range(3):
+            manager.save(step, {"step_payload": step})
+        step, state = manager.load_latest()
+        assert step == 2
+        assert state == {"step_payload": 2}
+
+    def test_should_save_cadence(self, tmp_path):
+        manager = make_manager(tmp_path, every=3)
+        assert [s for s in range(10) if manager.should_save(s)] == [0, 3, 6, 9]
+
+    def test_negative_step_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_manager(tmp_path).path_for(-1)
+
+
+class TestCorruption:
+    def test_truncated_file_detected(self, tmp_path):
+        manager = make_manager(tmp_path)
+        path = manager.save(0, {"a": 1})
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) - 4])
+        with pytest.raises(CheckpointCorruptError, match="integrity"):
+            manager.load(path)
+
+    def test_flipped_byte_detected(self, tmp_path):
+        manager = make_manager(tmp_path)
+        path = manager.save(0, {"a": 1})
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CheckpointCorruptError):
+            manager.load(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        manager = make_manager(tmp_path)
+        path = manager.path_for(0)
+        with open(path, "wb") as handle:
+            handle.write(b"NOTACKPT" + b"\0" * 64)
+        with pytest.raises(CheckpointCorruptError, match="not a DBTF"):
+            manager.load(path)
+
+    def test_future_version_refused(self, tmp_path):
+        manager = make_manager(tmp_path)
+        path = manager.path_for(0)
+        with open(path, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION + 1, b"\0" * 32))
+        with pytest.raises(CheckpointCorruptError, match="version"):
+            manager.load(path)
+
+    def test_load_latest_falls_back_over_corruption(self, tmp_path):
+        manager = make_manager(tmp_path, keep_last=10)
+        manager.save(0, {"ok": 0})
+        manager.save(1, {"ok": 1})
+        newest = manager.save(2, {"ok": 2})
+        with open(newest, "wb") as handle:
+            handle.write(b"torn write")
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            step, state = manager.load_latest()
+        assert (step, state) == (1, {"ok": 1})
+
+    def test_load_latest_all_corrupt_raises(self, tmp_path):
+        manager = make_manager(tmp_path, keep_last=10)
+        for step in range(2):
+            path = manager.save(step, {"s": step})
+            with open(path, "wb") as handle:
+                handle.write(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(CheckpointCorruptError, match="all 2"):
+                manager.load_latest()
+
+
+class TestFingerprintMismatch:
+    def test_mismatch_refuses(self, tmp_path):
+        make_manager(tmp_path, fingerprint="run-a").save(0, {"a": 1})
+        other = make_manager(tmp_path, fingerprint="run-b")
+        with pytest.raises(CheckpointMismatchError, match="different config"):
+            other.load_latest()
+
+    def test_mismatch_does_not_fall_back(self, tmp_path):
+        # Older snapshots share the directory's fingerprint; falling back
+        # would resume the wrong run, so the mismatch must propagate even
+        # with intact older files present.
+        writer = make_manager(tmp_path, fingerprint="run-a", keep_last=10)
+        writer.save(0, {"a": 0})
+        writer.save(1, {"a": 1})
+        with pytest.raises(CheckpointMismatchError):
+            make_manager(tmp_path, fingerprint="run-b").load_latest()
+
+
+class TestRetention:
+    def test_keep_last_prunes_oldest(self, tmp_path):
+        manager = make_manager(tmp_path, keep_last=2)
+        for step in range(5):
+            manager.save(step, {"s": step})
+        assert [step for step, _ in manager.checkpoints()] == [3, 4]
+
+    def test_metrics_counters(self, tmp_path):
+        metrics = MetricsRegistry()
+        manager = CheckpointManager(
+            CheckpointConfig(directory=str(tmp_path), keep_last=2),
+            "fp",
+            metrics=metrics,
+        )
+        for step in range(4):
+            manager.save(step, {"s": step})
+        manager.load_latest()
+        counters = {
+            name: sum(values.values())
+            for name, values in metrics.counters().items()
+        }
+        assert counters["checkpoints_written_total"] == 4
+        assert counters["checkpoints_pruned_total"] == 2
+        assert counters["checkpoint_resumes_total"] == 1
+        assert counters["checkpoint_bytes_total"] > 0
