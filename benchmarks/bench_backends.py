@@ -95,7 +95,7 @@ def _copy_cost(mode_rdds):
     """Seconds one `[list(p) for p in partitions]` pass over the data costs."""
     started = time.perf_counter()
     for rdd in mode_rdds:
-        _ = [list(partition) for partition in rdd.partitions]
+        _ = rdd.glom()
     return time.perf_counter() - started
 
 

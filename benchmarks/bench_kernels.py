@@ -62,6 +62,27 @@ def test_slice_bits(benchmark, packed_rows):
     assert sliced.shape[0] == 512
 
 
+@pytest.mark.parametrize("scratch", [False, True], ids=["alloc", "scratch"])
+def test_masks_with_bit_cleared(benchmark, scratch):
+    """The factor-update inner loop's mask copy, fresh vs reused buffer."""
+    from repro.core.update import _masks_with_bit_cleared
+
+    rng = np.random.default_rng(4)
+    words = BitMatrix.random(4096, 64, 0.2, rng).words
+    out = np.empty_like(words) if scratch else None
+
+    def sweep():
+        total = 0
+        for column in range(64):
+            total += int(_masks_with_bit_cleared(words, column, out=out)[0, 0])
+        return total
+
+    reference = sum(
+        int(_masks_with_bit_cleared(words, column)[0, 0]) for column in range(64)
+    )
+    assert benchmark(sweep) == reference  # scratch reuse changes nothing
+
+
 def main(argv=None) -> int:
     """Time every kernel directly and write ``BENCH_kernels.json``."""
     import argparse
@@ -75,9 +96,21 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args(argv)
 
+    from repro.core.update import _masks_with_bit_cleared
+
     rng = np.random.default_rng(0)
     packed = packing.pack_bits((rng.random((512, 4096)) < 0.1).astype(np.uint8))
     rolled = np.roll(packed, 1, axis=0)
+    # The factor-update loop calls this once per column; the scratch
+    # variant replaces 64 fresh allocations with one reused buffer.  The
+    # copy's memory traffic dominates, so the wall-time delta is small —
+    # the paired scenarios pin that reuse never regresses the kernel.
+    mask_words = BitMatrix.random(262144, 64, 0.2, rng).words
+    mask_scratch = np.empty_like(mask_words)
+
+    def _mask_sweep(out):
+        for column in range(64):
+            _masks_with_bit_cleared(mask_words, column, out=out)
     group = packing.pack_bits((rng.random((15, 512)) < 0.3).astype(np.uint8))
     table = or_accumulate_table(group, 15)
     keys = rng.integers(0, 2**15, size=(512, 64))
@@ -97,6 +130,10 @@ def main(argv=None) -> int:
          lambda: boolean_matmul(left, right)),
         ("slice_bits", {"rows": 512, "start": 100, "stop": 3000},
          lambda: packing.slice_bits(packed, 100, 3000)),
+        ("masks_bit_cleared_alloc", {"rows": 262144, "columns": 64},
+         lambda: _mask_sweep(None)),
+        ("masks_bit_cleared_scratch", {"rows": 262144, "columns": 64},
+         lambda: _mask_sweep(mask_scratch)),
     ]
     entries = [
         entry(name, params, best_wall_time(fn, args.repeats)[0])

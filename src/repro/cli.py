@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--workers", type=int, default=None,
                            help="worker-pool size for --backend thread/process "
                                 "(default: all cores)")
+    factorize.add_argument("--eager", action="store_true",
+                           help="disable stage fusion (legacy stage-per-"
+                                "transformation dispatch; dbtf only, "
+                                "results are identical)")
     factorize.add_argument("--seed", type=int, default=0)
     factorize.add_argument("--factors-out", default=None,
                            help="directory for A.mtx/B.mtx/C.mtx")
@@ -211,6 +215,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 n_workers=args.workers,
                 tracing=True,
+                eager=args.eager,
             )
             runtime = SimulatedRuntime(probe.resolved_cluster())
         try:
@@ -223,6 +228,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 n_partitions=args.partitions,
                 backend=args.backend,
                 n_workers=args.workers,
+                eager=args.eager,
                 checkpoint=checkpoint,
                 runtime=runtime,
             )

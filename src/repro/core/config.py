@@ -68,6 +68,11 @@ class DbtfConfig:
         kernel`` plus transfer events) on the runtime's tracer; export it
         with :mod:`repro.observability`.  ``False`` (default) defers to
         ``cluster.tracing``.
+    eager:
+        ``True`` disables the plan layer's stage fusion (legacy
+        stage-per-transformation dispatch).  Factors and metered bytes are
+        identical; only the dispatched-stage count grows.  ``False``
+        (default) defers to ``cluster.eager``.
     checkpoint:
         Iteration-level checkpointing
         (:class:`~repro.resilience.CheckpointConfig`): snapshot the
@@ -91,6 +96,7 @@ class DbtfConfig:
     backend: str | None = None
     n_workers: int | None = None
     tracing: bool = False
+    eager: bool = False
     checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
@@ -138,8 +144,13 @@ class DbtfConfig:
         return self.cluster.total_slots
 
     def resolved_cluster(self) -> ClusterConfig:
-        """``cluster`` with this config's backend/tracing overrides applied."""
-        if self.backend is None and self.n_workers is None and not self.tracing:
+        """``cluster`` with this config's backend/tracing/eager overrides."""
+        if (
+            self.backend is None
+            and self.n_workers is None
+            and not self.tracing
+            and not self.eager
+        ):
             return self.cluster
         return replace(
             self.cluster,
@@ -148,4 +159,5 @@ class DbtfConfig:
                 self.n_workers if self.n_workers is not None else self.cluster.n_workers
             ),
             tracing=self.tracing or self.cluster.tracing,
+            eager=self.eager or self.cluster.eager,
         )

@@ -45,7 +45,10 @@ def prepare_partitioned_unfoldings(
     nonzeros cross the network here (Lemma 6: O(|X|) shuffled bytes); each
     partition then organizes its share into bit-packed blocks locally, as a
     timed distributed stage.  Nothing of the tensor moves again afterwards
-    (Lemma 7).
+    (Lemma 7).  The packing stage is lazy and the result persisted: the
+    plan layer fuses it into the first factor-update stage that touches the
+    mode and caches the packed partitions there (a persist tap), so every
+    later iteration reads the cache instead of re-packing.
     """
     rdds = []
     for mode in range(3):
@@ -251,12 +254,15 @@ def dbtf(
             tracer=runtime.tracer,
         )
 
+    mode_rdds: list[Distributed] = []
     try:
         rng = np.random.default_rng(config.seed)
         # The partitioned unfoldings are always rebuilt, resume or not —
         # they are derived data (lineage recomputation, like Spark
         # rebuilding a lost RDD), so checkpoints stay small: only the
-        # factors, error trace, and RNG state go to disk.
+        # factors, error trace, and RNG state go to disk.  Rebuilding is
+        # lazy: the packing stage dispatches fused into the first factor
+        # update that touches each mode.
         mode_rdds = prepare_partitioned_unfoldings(
             tensor, config.resolved_partitions(), runtime
         )
@@ -317,8 +323,12 @@ def dbtf(
             if converged:
                 break
     finally:
-        # Only tear down worker pools we created; a caller-supplied runtime
-        # may still have stages to run (and metering to read).
+        # Release the per-mode partition caches so a caller-supplied
+        # runtime does not accumulate persisted unfoldings across runs;
+        # then only tear down worker pools we created — a caller-supplied
+        # runtime may still have stages to run (and metering to read).
+        for rdd in mode_rdds:
+            rdd.unpersist()
         if owns_runtime:
             runtime.close()
 

@@ -136,11 +136,25 @@ class CachedPartition:
         return error_if_zero, error_if_zero + delta_if_one
 
 
-def _masks_with_bit_cleared(words: np.ndarray, column: int) -> np.ndarray:
-    """Packed row masks with bit ``column`` forced to 0."""
+def _masks_with_bit_cleared(
+    words: np.ndarray, column: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Packed row masks with bit ``column`` forced to 0.
+
+    ``out`` is an optional scratch buffer (same shape/dtype as ``words``)
+    reused across the column loop instead of allocating a fresh copy per
+    call — safe because each column's error stage completes synchronously
+    before the next column overwrites the buffer, and the process backend
+    pickles a snapshot anyway.  See ``benchmarks/bench_kernels.py`` for the
+    measured delta.
+    """
     word_index, offset = divmod(column, packing.WORD_BITS)
     bit = np.uint64(1 << offset)
-    masks = words.copy()
+    if out is None:
+        masks = words.copy()
+    else:
+        masks = out
+        np.copyto(masks, words)
     masks[:, word_index] &= ~bit
     return masks
 
@@ -214,21 +228,25 @@ def update_factor(
     # Algorithm 5: build the row-summation cache tables inside each
     # partition.  The cache depends only on `inner`, so every partition
     # builds identical full tables plus its own block slices — exactly what
-    # each Spark executor would do locally.
+    # each Spark executor would do locally.  Persisted because all R column
+    # stages of this update reuse it; the plan layer fuses the build into
+    # the first column's stage (tapping the persist point), so it costs no
+    # dedicated dispatch.
     cached_rdd = data_rdd.map(
         _BuildCachedPartition(inner, config.cache_group_size),
         name="cacheRowSummations",
-    )
+    ).persist()
 
     updated = target.copy()
     error_after = 0
     # Row r of inner^T is the inner factor's column r, packed over the PVM
     # width — the coverage component c adds inside an active block.
     inner_columns = inner.transpose().words
+    masks_scratch = np.empty_like(updated.words)
     for column in range(config.rank):
         per_partition = cached_rdd.map(
             _ColumnErrorsTask(
-                _masks_with_bit_cleared(updated.words, column),
+                _masks_with_bit_cleared(updated.words, column, out=masks_scratch),
                 outer.words,
                 outer.column(column),
                 inner_columns[column],
@@ -248,4 +266,7 @@ def update_factor(
         # The workers need the freshly updated column for the next
         # column-iteration; charge that transfer.
         runtime.broadcast(np.packbits(chosen), name="columnUpdate")
+    # The cache tables are stale the moment `inner` changes in the next
+    # mode's update; evict rather than letting them pile up until close().
+    cached_rdd.unpersist()
     return updated, error_after

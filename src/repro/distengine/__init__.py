@@ -13,6 +13,7 @@ from .backends import (
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
+from .plan import FusedChainTask, LogicalPlan, PhysicalStage, PlanNode, PlanOptimizer
 from .rdd import Distributed
 from .runtime import ExecutionReport, SimulatedRuntime, StageReport
 from .scheduler import assign_tasks, makespan
@@ -32,6 +33,11 @@ __all__ = [
     "ClusterConfig",
     "DEFAULT_CLUSTER",
     "Distributed",
+    "LogicalPlan",
+    "PlanNode",
+    "PlanOptimizer",
+    "PhysicalStage",
+    "FusedChainTask",
     "SimulatedRuntime",
     "StageReport",
     "ExecutionReport",

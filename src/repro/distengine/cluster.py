@@ -63,6 +63,19 @@ class ClusterConfig:
         speculative duplicates into the simulated makespan and reports
         them as counters/events.  ``None`` (the default) disables
         speculation entirely.
+    eager:
+        ``True`` restores the legacy stage-per-transformation dispatch:
+        every narrow transformation materializes immediately under its own
+        stage name instead of fusing into one composed stage per chain at
+        the next action.  Kept for A/B comparison of the plan layer
+        (``benchmarks/bench_plan.py``); results and metered bytes are
+        identical either way, only the dispatched-stage count differs.
+    dedup_broadcasts:
+        ``True`` makes the runtime serve a broadcast whose content hash
+        matches an earlier payload from the driver's cache without
+        recharging the ledger.  Off by default: the reproduced lemma
+        measurements deliberately count repeated per-iteration broadcast
+        volume (see docs/plan.md).
     """
 
     n_machines: int = 16
@@ -74,6 +87,8 @@ class ClusterConfig:
     n_workers: int | None = None
     tracing: bool = False
     speculation: SpeculationConfig | None = None
+    eager: bool = False
+    dedup_broadcasts: bool = False
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -119,6 +134,14 @@ class ClusterConfig:
     ) -> "ClusterConfig":
         """The same cluster with speculative execution (re)configured."""
         return replace(self, speculation=speculation)
+
+    def with_eager(self, eager: bool = True) -> "ClusterConfig":
+        """The same cluster with legacy eager dispatch switched on (or off)."""
+        return replace(self, eager=eager)
+
+    def with_broadcast_dedup(self, dedup: bool = True) -> "ClusterConfig":
+        """The same cluster with content-hash broadcast dedup toggled."""
+        return replace(self, dedup_broadcasts=dedup)
 
 
 DEFAULT_CLUSTER = ClusterConfig()

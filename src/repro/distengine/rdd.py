@@ -1,17 +1,31 @@
-"""A partitioned, Spark-like distributed collection.
+"""A partitioned, Spark-like distributed collection with lazy lineage.
 
-:class:`Distributed` is the engine's RDD analogue.  Transformations execute
-eagerly, one task per partition; every task runs through the runtime's
-:class:`~repro.distengine.backends.Backend` (the stage-executor seam), which
-times it and reports to the owning runtime so a stage's duration can later
-be replayed under any cluster size.  Wide operations (``combine_by_key``)
-move data between partitions and charge the shuffle ledger, narrow ones
-(``map``/``map_partitions``) do not — the same distinction Spark draws.
+:class:`Distributed` is the engine's RDD analogue.  Transformations are
+**lazy**: ``map``/``filter``/``map_partitions``/``map_partitions_with_index``
+(and the map half of ``combine_by_key``) append a
+:class:`~repro.distengine.plan.PlanNode` to a lineage DAG and return
+immediately.  Actions (``collect``, ``count``, ``reduce``, ``glom``, and the
+shuffle barrier inside ``combine_by_key``) hand the DAG to the plan layer
+(:mod:`repro.distengine.plan`), which fuses each maximal chain of narrow
+transformations into one composed task per partition before dispatching
+through ``runtime.run_plan`` — a ``map → filter → map`` pipeline costs one
+stage, not three, and the fused stage carries the composite name
+(``"map+filter+..."``) into spans, reports, and the retry path.
 
-All stage payloads here are module-level callables holding their captured
-values as attributes, so they stay picklable and every transformation works
-unchanged under the process backend (provided the user-supplied functions
-are themselves picklable).
+``persist()`` is a real materialization barrier: the partitions are cached
+at first materialization (metered by ``partitions_cached_total``) and
+reused on every later access (``cache_hits_total``) until ``unpersist()``
+or ``runtime.close()`` evicts them.  ``ClusterConfig(eager=True)`` restores
+the legacy stage-per-transformation dispatch — every transformation
+materializes immediately under its legacy stage name — for A/B comparison
+(see ``benchmarks/bench_plan.py``).
+
+Wide operations (``combine_by_key``) still move data between partitions and
+charge the shuffle ledger; narrow ones do not — the same distinction Spark
+draws.  All stage payloads remain module-level callables holding their
+captured values as attributes, so they stay picklable and every
+transformation works unchanged under the process backend (provided the
+user-supplied functions are themselves picklable).
 """
 
 from __future__ import annotations
@@ -19,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from .plan import LogicalPlan, PlanNode
 from .shuffle import TransferKind, estimate_bytes, stable_hash
 
 __all__ = ["Distributed"]
@@ -108,60 +123,127 @@ def _identity(value: Any) -> Any:
 
 
 class Distributed:
-    """An eagerly evaluated, partitioned collection bound to a runtime.
+    """A lazily evaluated, partitioned collection bound to a runtime.
 
     The collection takes ownership of ``partitions`` without copying: every
-    construction site (``parallelize``/``from_partitions`` ingestion, stage
-    results) already hands over freshly built lists, so the old defensive
-    per-stage O(n) copy bought nothing (see DESIGN.md "Execution
-    backends" for the measurement).  Callers that need an independent
-    snapshot should use :meth:`glom`.
+    construction site (``parallelize``/``from_partitions`` ingestion,
+    shuffle results) already hands over freshly built lists.  Callers that
+    need an independent snapshot should use :meth:`glom`.
     """
 
-    __slots__ = ("runtime", "partitions", "name")
+    __slots__ = ("runtime", "name", "node")
 
-    def __init__(self, runtime, partitions: list[list[Any]], name: str = "rdd"):
+    def __init__(
+        self,
+        runtime,
+        partitions: list[list[Any]] | None = None,
+        name: str = "rdd",
+        node: PlanNode | None = None,
+    ):
         self.runtime = runtime
-        self.partitions = partitions
         self.name = name
+        if node is None:
+            node = PlanNode(
+                "source", label=name, node_id=runtime.next_plan_id()
+            )
+            node.cached = partitions if partitions is not None else []
+        self.node = node
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     @property
     def n_partitions(self) -> int:
-        return len(self.partitions)
+        """Partition count, known without materializing (narrow ops keep it)."""
+        node = self.node
+        while node.cached is None:
+            node = node.parent
+        return len(node.cached)
 
     def glom(self) -> list[list[Any]]:
-        """The partition structure as a list of lists (like Spark's glom)."""
-        return [list(partition) for partition in self.partitions]
+        """The materialized partition structure (like Spark's glom).
+
+        Returns copies, so mutating them never corrupts a persist cache.
+        """
+        return [list(partition) for partition in self._materialize()]
 
     def persist(self) -> "Distributed":
-        """No-op cache marker; data already lives in memory."""
+        """Mark this collection as a materialization barrier.
+
+        The partitions are cached at first materialization — when fusion
+        reaches a persisted node it taps the fused task's intermediate
+        output, so the cache fills without a dedicated stage — and reused
+        until :meth:`unpersist` or ``runtime.close()`` evicts them.
+        Persisting a source is a no-op: its partitions already live on the
+        driver.
+        """
+        node = self.node
+        if node.is_source or node.persisted:
+            return self
+        node.persisted = True
+        self.runtime.register_persist(node)
+        if node.cached is not None:  # eager mode materialized it already
+            self.runtime.count_partitions_cached(len(node.cached))
         return self
+
+    def unpersist(self) -> "Distributed":
+        """Evict this collection's cached partitions (metered)."""
+        self.runtime.evict(self.node)
+        return self
+
+    def explain(self) -> str:
+        """Deterministic rendering of the lineage and its physical stages."""
+        return LogicalPlan(self.node, self.runtime.plan_optimizer).explain()
+
+    def _materialize(self) -> list[list[Any]]:
+        return self.runtime.materialize(self.node)
 
     # ------------------------------------------------------------------
     # Narrow transformations (no shuffle)
     # ------------------------------------------------------------------
-    def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Distributed":
-        return self.map_partitions_with_index(
-            _ElementTask(fn), name=name or f"{self.name}.map"
+    def _derive(
+        self,
+        op: str,
+        fn: Callable[[int, list[Any]], Iterable[Any]],
+        name: str | None,
+        default_suffix: str,
+    ) -> "Distributed":
+        """Append one narrow node to the lineage (dispatching it if eager).
+
+        In eager mode the node's label falls back to the legacy
+        ``"<parent>.<op>"`` stage name, so the stage-per-op dispatch is
+        name-identical to the pre-plan engine; in fused mode an anonymous
+        node contributes just its operator label to the composite name.
+        """
+        runtime = self.runtime
+        label = name or (f"{self.name}.{default_suffix}" if runtime.eager else None)
+        node = PlanNode(
+            op, label=label, fn=fn, parent=self.node,
+            node_id=runtime.next_plan_id(),
         )
+        derived = Distributed(
+            runtime, name=name or f"{self.name}.{default_suffix}", node=node
+        )
+        if runtime.eager:
+            node.cached = runtime.materialize(node)
+            node.release()
+        return derived
+
+    def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Distributed":
+        return self._derive("map", _ElementTask(fn), name, "map")
 
     def filter(
         self, predicate: Callable[[Any], bool], name: str | None = None
     ) -> "Distributed":
-        return self.map_partitions_with_index(
-            _FilterTask(predicate), name=name or f"{self.name}.filter"
-        )
+        return self._derive("filter", _FilterTask(predicate), name, "filter")
 
     def map_partitions(
         self,
         fn: Callable[[list[Any]], Iterable[Any]],
         name: str | None = None,
     ) -> "Distributed":
-        return self.map_partitions_with_index(
-            _PartitionTask(fn), name=name or f"{self.name}.mapPartitions"
+        return self._derive(
+            "mapPartitions", _PartitionTask(fn), name, "mapPartitions"
         )
 
     def map_partitions_with_index(
@@ -169,18 +251,17 @@ class Distributed:
         fn: Callable[[int, list[Any]], Iterable[Any]],
         name: str | None = None,
     ) -> "Distributed":
-        """Apply ``fn(partition_index, items)`` to each partition, timed.
+        """Lazily apply ``fn(partition_index, items)`` to each partition.
 
-        Execution, per-task timing, and fault-injection retries all happen
-        inside the runtime's backend (see
-        :func:`repro.distengine.backends.execute_task`); this method only
-        names the stage and wraps the results.
+        Execution happens at the next action: the plan layer fuses this
+        node with its narrow neighbours and the runtime's backend executes
+        the composed task (see
+        :func:`repro.distengine.backends.execute_task`), which times it
+        and applies fault-injection retries.
         """
-        stage_name = name or f"{self.name}.mapPartitionsWithIndex"
-        new_partitions = self.runtime.run_stage(
-            stage_name, fn, list(enumerate(self.partitions))
+        return self._derive(
+            "mapPartitionsWithIndex", fn, name, "mapPartitionsWithIndex"
         )
-        return Distributed(self.runtime, new_partitions, name=stage_name)
 
     # ------------------------------------------------------------------
     # Wide transformation (shuffle)
@@ -195,21 +276,27 @@ class Distributed:
     ) -> "Distributed":
         """Group ``(key, value)`` elements by key, Spark's combineByKey.
 
-        Values are pre-combined inside each source partition (a timed
-        map-side stage), the partial combiners are hash-partitioned across
-        the network (charged to the shuffle ledger; placement uses
+        The map side is a narrow node — it fuses with upstream
+        transformations — but the shuffle is a barrier: the lineage up to
+        the map side materializes here.  Partial combiners are
+        hash-partitioned across the network (charged to the shuffle
+        ledger; placement uses
         :func:`~repro.distengine.shuffle.stable_hash`, so it is identical
         across processes and ``PYTHONHASHSEED`` values), then merged per
-        target partition (a timed reduce-side stage).
+        target partition.  The result is a new source node: shuffled data
+        has no narrow lineage to recompute from.
         """
         stage_name = name or f"{self.name}.combineByKey"
         target_count = n_partitions or self.n_partitions or 1
 
-        partial_maps = self.runtime.run_stage(
-            f"{stage_name}.map",
-            _CombineMapTask(create_combiner, merge_value),
-            list(enumerate(self.partitions)),
+        map_node = PlanNode(
+            "combineByKey.map",
+            label=f"{stage_name}.map",
+            fn=_CombineMapTask(create_combiner, merge_value),
+            parent=self.node,
+            node_id=self.runtime.next_plan_id(),
         )
+        partial_maps = self.runtime.materialize(map_node)
 
         # Driver-side shuffle routing: deterministic bucket placement and
         # byte accounting.  Pairs are routed in (source partition, insertion)
@@ -249,19 +336,32 @@ class Distributed:
     # Actions
     # ------------------------------------------------------------------
     def collect(self, name: str | None = None) -> list[Any]:
-        """Pull every element to the driver; charged to the collect ledger."""
+        """Materialize and pull every element to the driver (metered)."""
         stage_name = name or f"{self.name}.collect"
-        flat = [item for partition in self.partitions for item in partition]
+        flat = [item for partition in self._materialize() for item in partition]
         self.runtime.record_transfer(
             TransferKind.COLLECT, stage_name, estimate_bytes(flat)
         )
         return flat
 
-    def count(self) -> int:
-        return sum(len(partition) for partition in self.partitions)
+    def count(self, name: str | None = None) -> int:
+        """Materialize and count the elements.
 
-    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
-        items = self.collect(name=f"{self.name}.reduce")
+        Only the per-partition counts cross the wire, so one scalar's worth
+        of bytes is charged under a stable ``"<name>.count"`` stage name —
+        greppable in the ledger and trace instead of hiding in a generic
+        collect.
+        """
+        stage_name = name or f"{self.name}.count"
+        total = sum(len(partition) for partition in self._materialize())
+        self.runtime.record_transfer(
+            TransferKind.COLLECT, stage_name, estimate_bytes(total)
+        )
+        return total
+
+    def reduce(self, fn: Callable[[Any, Any], Any], name: str | None = None) -> Any:
+        """Materialize, collect, and fold the elements on the driver."""
+        items = self.collect(name=name or f"{self.name}.reduce")
         if not items:
             raise ValueError("reduce of an empty collection")
         accumulator = items[0]

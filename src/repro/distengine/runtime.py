@@ -21,9 +21,10 @@ from .backends import Backend, make_backend
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector
+from .plan import FusedChainTask, LogicalPlan, PlanNode, PlanOptimizer
 from .rdd import Distributed
 from .scheduler import makespan
-from .shuffle import ShuffleLedger, TransferKind, estimate_bytes
+from .shuffle import ShuffleLedger, TransferKind, estimate_bytes, stable_hash
 
 __all__ = ["SimulatedRuntime", "StageReport", "ExecutionReport"]
 
@@ -117,9 +118,23 @@ class SimulatedRuntime:
         self.backend = make_backend(
             backend if backend is not None else config.backend, config.n_workers
         )
+        # Plan layer: node ids are handed out in creation order (so
+        # ``explain()`` output is deterministic), persisted nodes are
+        # tracked for eviction, and repeated broadcast payloads can be
+        # deduplicated by content hash when the cluster opts in.
+        self.plan_optimizer = PlanOptimizer(fuse=not config.eager)
+        self._plan_counter = 0
+        self._persisted_nodes: list[PlanNode] = []
+        self._broadcast_cache: dict[int, Broadcast] = {}
+
+    @property
+    def eager(self) -> bool:
+        """Whether transformations dispatch immediately (legacy mode)."""
+        return self.config.eager
 
     def close(self) -> None:
-        """Shut down the backend's worker pool (no-op for serial)."""
+        """Evict every persist cache, then shut down the worker pool."""
+        self.evict_all()
         self.backend.close()
 
     def __enter__(self) -> "SimulatedRuntime":
@@ -161,12 +176,105 @@ class SimulatedRuntime:
         return Distributed(self, [list(p) for p in partitions], name=name)
 
     def broadcast(self, value: Any, name: str = "broadcast") -> Broadcast:
-        """Ship one read-only copy of ``value`` toward every machine."""
+        """Ship one read-only copy of ``value`` toward every machine.
+
+        With ``ClusterConfig(dedup_broadcasts=True)`` a payload whose
+        content hash matches an earlier broadcast is served from the
+        driver's cache: nothing is charged to the ledger and
+        ``broadcast_dedup_hits_total`` is incremented.  Off by default —
+        several reproduced lemma measurements count repeated broadcast
+        volume deliberately (see docs/plan.md).
+        """
+        if self.config.dedup_broadcasts:
+            fingerprint = stable_hash(value)
+            cached = self._broadcast_cache.get(fingerprint)
+            if cached is not None:
+                self.metrics.counter(
+                    "broadcast_dedup_hits_total", broadcast=name
+                ).inc()
+                return Broadcast(cached.value, name, cached.n_bytes)
         n_bytes = estimate_bytes(value)
         self._broadcast_base_bytes += n_bytes
         # The ledger stores the per-machine copy; replay multiplies by M.
         self.record_transfer(TransferKind.BROADCAST, name, n_bytes)
-        return Broadcast(value, name, n_bytes)
+        result = Broadcast(value, name, n_bytes)
+        if self.config.dedup_broadcasts:
+            self._broadcast_cache[fingerprint] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Plan layer: lazy lineage, fusion, persist caches
+    # ------------------------------------------------------------------
+    def next_plan_id(self) -> int:
+        """Deterministic lineage-node id (creation order per runtime)."""
+        self._plan_counter += 1
+        return self._plan_counter
+
+    def materialize(self, node: PlanNode) -> list[list]:
+        """Partitions of ``node``, dispatching whatever stages are missing."""
+        return LogicalPlan(node, self.plan_optimizer).execute(self)
+
+    def register_persist(self, node: PlanNode) -> None:
+        """Track a persisted node so ``close()`` can evict its cache."""
+        if node not in self._persisted_nodes:
+            self._persisted_nodes.append(node)
+
+    def evict(self, node: PlanNode, count: bool = True) -> None:
+        """Drop one node's cached partitions (and its persist registration)."""
+        if node in self._persisted_nodes:
+            self._persisted_nodes.remove(node)
+        node.persisted = False
+        if node.cached is not None and not node.is_source:
+            if count:
+                self.metrics.counter("partitions_evicted_total").inc(
+                    len(node.cached)
+                )
+            node.cached = None
+
+    def evict_all(self, count: bool = True) -> None:
+        """Evict every registered persist cache (``close()``/``reset()``)."""
+        for node in list(self._persisted_nodes):
+            self.evict(node, count=count)
+
+    def count_partitions_cached(self, n_partitions: int) -> None:
+        self.metrics.counter("partitions_cached_total").inc(n_partitions)
+
+    def count_cache_hits(self, n_partitions: int) -> None:
+        self.metrics.counter("cache_hits_total").inc(n_partitions)
+
+    def run_plan(
+        self,
+        stage_name: str,
+        fns: list,
+        indexed_partitions,
+        tap_positions=(),
+    ) -> tuple[list[list], list[tuple[int, list[list]]]]:
+        """Execute a fused chain of narrow task functions as one stage.
+
+        ``fns`` are applied in order inside a single
+        :class:`~repro.distengine.plan.FusedChainTask` per partition;
+        ``tap_positions`` name the chain positions whose intermediate
+        output must come back for persist caches.  Single-function chains
+        skip the wrapper entirely, so an unfused stage is bit-for-bit the
+        legacy dispatch.  Returns ``(final_partitions, tapped)`` with
+        ``tapped`` sorted by chain position; all metering — durations,
+        counters, retries, speculation, spans — flows through
+        :meth:`run_stage` under the composite ``stage_name``.
+        """
+        if len(fns) == 1 and not tap_positions:
+            return self.run_stage(stage_name, fns[0], indexed_partitions), []
+        task = FusedChainTask(fns, tap_positions)
+        wrapped = self.run_stage(stage_name, task, indexed_partitions)
+        finals: list[list] = []
+        tapped: dict[int, list[list]] = {
+            position: [] for position in tap_positions
+        }
+        for partition in wrapped:
+            final, captured = partition[0]
+            finals.append(final)
+            for position, intermediate in captured:
+                tapped[position].append(intermediate)
+        return finals, sorted(tapped.items())
 
     # ------------------------------------------------------------------
     # Stage execution and metering
@@ -321,6 +429,11 @@ class SimulatedRuntime:
         self.stages.clear()
         self.blacklisted_partitions.clear()
         self._broadcast_base_bytes = 0
+        # Persist caches are measurement state too: evict silently (the
+        # counters are being wiped anyway) so a reset runtime re-dispatches
+        # from clean lineage.
+        self.evict_all(count=False)
+        self._broadcast_cache.clear()
         self.metrics.reset()
         if self.tracer is not None:
             self.tracer.reset()

@@ -59,7 +59,13 @@ def estimate_bytes(obj: object) -> int:
 
 
 def _hash_bytes(key: object) -> bytes:
-    """Canonical byte encoding of a shuffle key, type-tagged per element."""
+    """Canonical byte encoding of a shuffle key, type-tagged per element.
+
+    Beyond shuffle keys this also has to fingerprint broadcast payloads
+    (for ``ClusterConfig(dedup_broadcasts=True)``), so numpy arrays hash
+    their dtype, shape, and raw buffer, and lists hash element-wise like
+    tuples (with a distinct tag).
+    """
     if key is None:
         return b"n"
     if isinstance(key, (bool, np.bool_)):
@@ -72,14 +78,17 @@ def _hash_bytes(key: object) -> bytes:
         return b"s" + key.encode("utf-8")
     if isinstance(key, (bytes, bytearray)):
         return b"y" + bytes(key)
-    if isinstance(key, tuple):
+    if isinstance(key, np.ndarray):
+        header = f"{key.dtype.str}:{key.shape}:".encode("ascii")
+        return b"a" + header + np.ascontiguousarray(key).tobytes()
+    if isinstance(key, (tuple, list)):
         # Hash each element first so variable-length parts cannot collide
         # across positions.
         digests = b"".join(
             hashlib.blake2b(_hash_bytes(item), digest_size=8).digest()
             for item in key
         )
-        return b"t" + digests
+        return (b"t" if isinstance(key, tuple) else b"l") + digests
     return b"r" + repr(key).encode("utf-8")
 
 

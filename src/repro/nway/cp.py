@@ -14,7 +14,6 @@ where an N-way analysis is run interactively, not for DBTF-scale data.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from functools import reduce
 from typing import TYPE_CHECKING
@@ -22,8 +21,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..bitops import BitMatrix, packing
-from ..distengine.backends import BACKEND_NAMES, make_backend
-from ..observability.trace import SpanKind
+from ..distengine import DEFAULT_CLUSTER, SimulatedRuntime
+from ..distengine.backends import BACKEND_NAMES
 from ..resilience import CheckpointConfig, CheckpointManager, config_fingerprint
 from ..tensor import SparseBoolTensor
 
@@ -324,34 +323,20 @@ def _solve_restarts(
             )
             for r in restarts
         ]
+    # Route the restart fan-out through the distributed engine's lazy API:
+    # one partition per restart, one ``cpNway.restarts`` stage at the glom
+    # barrier.  The runtime handles what the manual backend call used to —
+    # stage/task counters, worker metric-delta merging, and span grafting —
+    # on the caller's registries.
     task = _RestartTask(tensor, unfoldings, config)
-    started = time.perf_counter()
-    with make_backend(config.backend, config.n_workers) as backend:
-        stage = backend.run_stage(
-            "cpNway.restarts",
-            task,
-            [(r, [r]) for r in restarts],
-            collect_trace=tracer is not None,
+    cluster = DEFAULT_CLUSTER.with_backend(config.backend, config.n_workers)
+    with SimulatedRuntime(cluster, tracer=tracer, metrics=metrics) as runtime:
+        partitions = (
+            runtime.from_partitions([[r] for r in restarts], name="cpNway")
+            .map_partitions_with_index(task, name="cpNway.restarts")
+            .glom()
         )
-    wall_time = time.perf_counter() - started
-    if metrics is not None:
-        metrics.counter("stages_total").inc()
-        metrics.counter("tasks_total", stage="cpNway.restarts").inc(
-            len(stage.durations)
-        )
-        for deltas in stage.metric_deltas:
-            if deltas:
-                metrics.merge_deltas(deltas)
-    if tracer is not None:
-        stage_span_id = tracer.add_span(
-            "cpNway.restarts", SpanKind.STAGE, start=started, duration=wall_time,
-            n_tasks=len(stage.durations),
-            task_failures=sum(stage.failure_counts),
-        )
-        for task_trace in stage.traces:
-            if task_trace is not None:
-                tracer.graft(stage_span_id, task_trace)
-    return [candidate for partition in stage.results for candidate in partition]
+    return [candidate for partition in partitions for candidate in partition]
 
 
 def _nway_fingerprint(tensor: SparseBoolTensor, config: NwayCpConfig) -> str:

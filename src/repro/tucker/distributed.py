@@ -33,6 +33,7 @@ from ..core.cache import RowSummationCache
 from ..observability.trace import kernel_span
 from ..core.decompose import prepare_partitioned_unfoldings
 from ..core.partition import PartitionData
+from ..core.update import _masks_with_bit_cleared
 from ..distengine import DEFAULT_CLUSTER, Distributed, SimulatedRuntime
 from ..tensor import SparseBoolTensor
 from .decompose import (
@@ -181,17 +182,20 @@ def update_tucker_factor(
         [target.words, outer.words, inner.words, core_perm],
         name="updateTuckerFactor.broadcast",
     )
+    # Persisted for the same reason as the CP update: every column stage
+    # reuses the per-pattern caches, and the plan layer fuses the build
+    # into the first column's stage via a persist tap.
     cached_rdd = data_rdd.map(
         _BuildTuckerCache(outer, inner, core_perm, group_size),
         name="cacheTuckerSummations",
-    )
+    ).persist()
     updated = target.copy()
     error_after = 0
+    masks_scratch = np.empty_like(updated.words)
     for column in range(target.n_cols):
-        word_index, offset = divmod(column, packing.WORD_BITS)
-        bit = np.uint64(1 << offset)
-        masks_if_zero = updated.words.copy()
-        masks_if_zero[:, word_index] &= ~bit
+        masks_if_zero = _masks_with_bit_cleared(
+            updated.words, column, out=masks_scratch
+        )
         per_partition = cached_rdd.map(
             _TuckerColumnErrorsTask(masks_if_zero, column),
             name="tuckerColumnErrors",
@@ -205,6 +209,7 @@ def update_tucker_factor(
         updated.set_column(column, chosen)
         error_after = int(np.minimum(error_if_zero, error_if_one).sum())
         runtime.broadcast(np.packbits(chosen), name="tuckerColumnUpdate")
+    cached_rdd.unpersist()
     return updated, error_after
 
 
@@ -252,6 +257,7 @@ def dbtf_tucker(
             DEFAULT_CLUSTER.with_backend(backend, n_workers)
         )
 
+    mode_rdds: list[Distributed] = []
     try:
         mode_rdds = prepare_partitioned_unfoldings(tensor, n_partitions, runtime)
         dense = tensor.to_dense()
@@ -265,6 +271,8 @@ def dbtf_tucker(
             if best is None or candidate.error < best.error:
                 best = candidate
     finally:
+        for rdd in mode_rdds:
+            rdd.unpersist()
         if owns_runtime:
             runtime.close()
     return best

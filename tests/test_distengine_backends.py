@@ -259,7 +259,7 @@ class TestDbtfEquivalence:
         try:
             rdd = runtime.parallelize(list(range(20)), n_partitions=10)
             with pytest.raises(TaskFailedError):
-                rdd.map_partitions_with_index(_square_partition)
+                rdd.map_partitions_with_index(_square_partition).collect()
         finally:
             runtime.close()
 
@@ -317,11 +317,13 @@ class TestOwnershipBoundary:
         assert rdd.collect() == [1, 2, 3]
 
     def test_stages_hand_over_fresh_lists(self):
-        """Stage outputs are owned by the new collection — no aliasing."""
+        """Cached stage outputs are owned by the new collection — even an
+        identity ``map_partitions`` must not alias the source's lists."""
         runtime = SimulatedRuntime(ClusterConfig(n_machines=1,
                                                  cores_per_machine=1))
         rdd = runtime.parallelize(list(range(6)), n_partitions=2)
-        mapped = rdd.map(lambda x: x + 1)
-        assert mapped.partitions is not rdd.partitions
+        mapped = rdd.map_partitions(lambda items: items).persist()
+        mapped.count()  # materialize the cache
+        assert mapped.node.cached is not rdd.node.cached
         assert all(a is not b
-                   for a, b in zip(mapped.partitions, rdd.partitions))
+                   for a, b in zip(mapped.node.cached, rdd.node.cached))

@@ -63,20 +63,20 @@ class TestEngineRetries:
     def test_failures_counted_per_stage(self):
         runtime = self._runtime(rate=0.4, seed=3)
         rdd = runtime.parallelize(list(range(20)), n_partitions=8)
-        rdd.map(lambda x: x, name="stage-a")
+        rdd.map(lambda x: x, name="stage-a").collect()
         assert runtime.task_failures.get("stage-a", 0) >= 1
 
     def test_retry_budget_exhaustion_raises(self):
         runtime = self._runtime(rate=0.9, retries=0, seed=0)
         rdd = runtime.parallelize(list(range(20)), n_partitions=10)
         with pytest.raises(TaskFailedError):
-            rdd.map(lambda x: x)
+            rdd.map(lambda x: x).collect()
 
     def test_lost_attempts_charge_stage_time(self):
         def run(rate, seed=7):
             runtime = self._runtime(rate=rate, seed=seed)
             rdd = runtime.parallelize(list(range(400)), n_partitions=4)
-            rdd.map(lambda x: sum(range(500)), name="work")
+            rdd.map(lambda x: sum(range(500)), name="work").count()
             stage = next(s for s in runtime.stages if s.name == "work")
             return stage.total_cpu_time, runtime.total_task_failures
 
@@ -89,7 +89,7 @@ class TestEngineRetries:
     def test_reset_clears_failures(self):
         runtime = self._runtime(rate=0.4)
         rdd = runtime.parallelize([1, 2, 3], n_partitions=3)
-        rdd.map(lambda x: x)
+        rdd.map(lambda x: x).collect()
         runtime.reset()
         assert runtime.total_task_failures == 0
 
@@ -134,8 +134,8 @@ class TestFaultDeterminismAcrossBackends:
         )
         try:
             rdd = runtime.parallelize(list(range(24)), n_partitions=6)
-            rdd.map(_double, name="double")
-            rdd.map(_increment, name="increment")
+            rdd.map(_double, name="double").collect()
+            rdd.map(_increment, name="increment").collect()
         finally:
             runtime.close()
         return (
@@ -170,7 +170,7 @@ class TestTaskFailedErrorPayload:
         try:
             rdd = runtime.parallelize(list(range(8)), n_partitions=4)
             with pytest.raises(TaskFailedError) as excinfo:
-                rdd.map(_increment, name="doomed")
+                rdd.map(_increment, name="doomed").collect()
         finally:
             runtime.close()
         return excinfo.value

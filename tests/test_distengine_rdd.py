@@ -73,7 +73,7 @@ class TestTransformations:
 
     def test_stages_recorded(self, runtime):
         rdd = runtime.parallelize([1, 2, 3], n_partitions=2)
-        rdd.map(lambda x: x, name="my-stage")
+        rdd.map(lambda x: x, name="my-stage").collect()
         assert any(stage.name == "my-stage" for stage in runtime.stages)
         stage = next(s for s in runtime.stages if s.name == "my-stage")
         assert stage.n_tasks == 2
@@ -144,7 +144,7 @@ class TestBroadcast:
 class TestSimulatedTime:
     def test_more_machines_never_slower(self, runtime):
         rdd = runtime.parallelize(list(range(64)), n_partitions=16)
-        rdd.map(lambda x: sum(range(2000)))
+        rdd.map(lambda x: sum(range(2000))).count()
         t4 = runtime.simulated_time(4)
         t16 = runtime.simulated_time(16)
         assert t16 <= t4 + 1e-9
@@ -165,7 +165,7 @@ class TestSimulatedTime:
 
     def test_report_fields(self, runtime):
         rdd = runtime.parallelize([1, 2, 3], n_partitions=2)
-        rdd.map(lambda x: x)
+        rdd.map(lambda x: x).collect()
         runtime.broadcast([1, 2, 3])
         report = runtime.report()
         assert report.n_stages == 1
@@ -177,7 +177,7 @@ class TestSimulatedTime:
 
     def test_reset(self, runtime):
         rdd = runtime.parallelize([1], n_partitions=1)
-        rdd.map(lambda x: x)
+        rdd.map(lambda x: x).collect()
         runtime.reset()
         assert not runtime.stages
         assert runtime.ledger.total_bytes == 0

@@ -13,20 +13,34 @@ class TestDriverLatency:
         )
         runtime = SimulatedRuntime(config)
         rdd = runtime.parallelize([1, 2, 3, 4], n_partitions=4)
-        rdd.map(lambda x: x)
+        rdd.map(lambda x: x).count()
         # One stage: both machine counts pay the same 1 s driver latency.
         difference = runtime.simulated_time(1) - runtime.simulated_time(100)
         assert difference < 1.0  # only the (tiny) compute part shrank
 
     def test_driver_latency_counts_per_stage(self):
+        # Eager mode: each transformation dispatches its own stage (fusion
+        # would collapse the chain into a single 0.5 s round-trip).
+        config = ClusterConfig(
+            n_machines=1, cores_per_machine=1,
+            task_launch_overhead_sec=0.0, driver_latency_sec=0.5, eager=True,
+        )
+        runtime = SimulatedRuntime(config)
+        rdd = runtime.parallelize([1], n_partitions=1)
+        rdd = rdd.map(lambda x: x).map(lambda x: x).map(lambda x: x)
+        assert runtime.simulated_time(1) >= 1.5  # three stages x 0.5 s
+
+    def test_fusion_pays_driver_latency_once(self):
+        # The lazy planner's point: the same chain costs one round-trip.
         config = ClusterConfig(
             n_machines=1, cores_per_machine=1,
             task_launch_overhead_sec=0.0, driver_latency_sec=0.5,
         )
         runtime = SimulatedRuntime(config)
         rdd = runtime.parallelize([1], n_partitions=1)
-        rdd = rdd.map(lambda x: x).map(lambda x: x).map(lambda x: x)
-        assert runtime.simulated_time(1) >= 1.5  # three stages x 0.5 s
+        rdd.map(lambda x: x).map(lambda x: x).map(lambda x: x).count()
+        assert len(runtime.stages) == 1
+        assert 0.5 <= runtime.simulated_time(1) < 1.0
 
     def test_empty_stage_costs_nothing(self):
         runtime = SimulatedRuntime()
@@ -44,7 +58,7 @@ class TestSpeedupShape:
         )
         runtime = SimulatedRuntime(config)
         rdd = runtime.parallelize(list(range(64)), n_partitions=64)
-        rdd.map(lambda x: sum(range(3000)))
+        rdd.map(lambda x: sum(range(3000))).count()
         t1 = runtime.simulated_time(1)
         t4 = runtime.simulated_time(4)
         t64 = runtime.simulated_time(64)
@@ -58,7 +72,7 @@ class TestSpeedupShape:
     def test_report_simulated_time_matches_method(self):
         runtime = SimulatedRuntime()
         rdd = runtime.parallelize([1, 2], n_partitions=2)
-        rdd.map(lambda x: x)
+        rdd.map(lambda x: x).count()
         report = runtime.report(8)
         assert report.simulated_time == pytest.approx(runtime.simulated_time(8))
 
