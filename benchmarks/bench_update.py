@@ -1,0 +1,166 @@
+"""Factor-update comms A/B: broadcast handles + deltas vs eager closures.
+
+The broadcast-handle plane's claim (DESIGN.md §11): with
+``ClusterConfig(handle_broadcasts=True)`` the per-column traffic of the
+factor-update sweep drops from O(n_rows·words + outer + inner) serialized
+closure bytes per task to an O(n_rows/8) packed column delta — at least
+5x at rank 8, dim 128 — while the factors and error trace stay
+bit-identical.  This benchmark runs both modes on the same fixed-seed
+planted tensor (eager dispatch, so ledger rows carry clean per-stage
+names), asserts the equivalence + reduction contract, times the batched
+vs row-loop ``boolean_matmul`` kernel, and writes ``BENCH_update.json``::
+
+    python benchmarks/bench_update.py [--smoke]
+
+Run it after any change to the broadcast plane, payload byte accounting,
+or the column-sweep task shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bitops import BitMatrix
+from repro.bitops.ops import _boolean_matmul_batched, _boolean_matmul_rowloop
+from repro.core import dbtf
+from repro.distengine import ClusterConfig, SimulatedRuntime
+from repro.tensor import planted_tensor
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parent))
+from _emit import best_wall_time, emit, entry  # noqa: E402
+
+N_MACHINES = 4
+MIN_BYTE_DROP = 5.0
+
+
+def _run(tensor, rank, max_iterations, n_partitions, handles):
+    """One decomposition; returns (fingerprint, per-column bytes, sim time)."""
+    runtime = SimulatedRuntime(
+        ClusterConfig(n_machines=N_MACHINES, cores_per_machine=2, eager=True,
+                      handle_broadcasts=handles)
+    )
+    try:
+        result = dbtf(tensor, rank=rank, max_iterations=max_iterations,
+                      n_partitions=n_partitions, seed=0, runtime=runtime)
+        fingerprint = (
+            tuple(factor.words.tobytes() for factor in result.factors),
+            tuple(result.errors_per_iteration),
+        )
+        by_stage = dict(runtime.ledger.by_stage)
+        # Driver->worker bytes of the column sweep: the columnErrors task
+        # payloads plus the columnUpdate broadcasts, averaged per column
+        # stage (rank columns x 3 modes x iterations).
+        sweep_bytes = by_stage.get("columnErrors", 0) + by_stage.get(
+            "columnUpdate", 0
+        )
+        n_columns = rank * 3 * len(result.errors_per_iteration)
+        return (fingerprint, sweep_bytes / n_columns,
+                runtime.simulated_time(N_MACHINES))
+    finally:
+        runtime.close()
+
+
+def measure(dim: int, rank: int, n_partitions: int, iterations: int,
+            repeats: int):
+    """Handle-vs-closure comparison on one planted tensor."""
+    tensor, _ = planted_tensor(
+        (dim, dim, dim), rank=rank, factor_density=0.1,
+        rng=np.random.default_rng(7),
+    )
+    params = {"dim": dim, "rank": rank, "n_partitions": n_partitions,
+              "iterations": iterations}
+
+    records = []
+    outcomes = {}
+    for mode, handles in (("handles", True), ("closures", False)):
+        wall, (fingerprint, per_column, simulated) = best_wall_time(
+            lambda handles=handles: _run(tensor, rank, iterations,
+                                         n_partitions, handles),
+            repeats=repeats,
+        )
+        outcomes[mode] = {"fingerprint": fingerprint,
+                          "per_column": per_column}
+        records.append(
+            entry(f"update_{mode}",
+                  {**params, "per_column_bytes": per_column},
+                  wall_s=wall, simulated_s=simulated)
+        )
+
+    # Equivalence half of the contract: the comms plane may only change
+    # how bytes move, never what the sweep computes.
+    if outcomes["handles"]["fingerprint"] != outcomes["closures"]["fingerprint"]:
+        raise AssertionError(
+            "handle and closure runs diverged: factors and error traces "
+            "must be bit-identical"
+        )
+    drop = outcomes["closures"]["per_column"] / outcomes["handles"]["per_column"]
+    if drop < MIN_BYTE_DROP:
+        raise AssertionError(
+            f"per-column broadcast bytes dropped only {drop:.2f}x "
+            f"(closures {outcomes['closures']['per_column']:.0f} B -> "
+            f"handles {outcomes['handles']['per_column']:.0f} B); "
+            f"expected >= {MIN_BYTE_DROP}x at rank {rank}, dim {dim}"
+        )
+    records.append(
+        entry("per_column_byte_drop", {**params, "drop": drop},
+              wall_s=0.0, simulated_s=None)
+    )
+
+    # The batched kernel the rewired sweep leans on, vs its loop baseline.
+    rng = np.random.default_rng(3)
+    left = BitMatrix.random(256, 64, 0.2, rng)
+    right = BitMatrix.random(64, 1024, 0.2, rng)
+    loop_wall, loop_product = best_wall_time(
+        lambda: _boolean_matmul_rowloop(left, right), repeats=max(repeats, 3)
+    )
+    batched_wall, batched_product = best_wall_time(
+        lambda: _boolean_matmul_batched(left, right), repeats=max(repeats, 3)
+    )
+    if batched_product != loop_product:
+        raise AssertionError("batched boolean_matmul diverged from row loop")
+    kernel_params = {"shape": [256, 64, 1024]}
+    records.append(entry("boolean_matmul_rowloop", kernel_params,
+                         wall_s=loop_wall))
+    records.append(entry("boolean_matmul_batched", kernel_params,
+                         wall_s=batched_wall))
+    summary = {
+        "per_column_handles": outcomes["handles"]["per_column"],
+        "per_column_closures": outcomes["closures"]["per_column"],
+        "drop": drop,
+        "matmul_speedup": loop_wall / batched_wall,
+    }
+    return records, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dim", type=int, default=128)
+    parser.add_argument("--rank", type=int, default=8)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized quick run (same rank-8/dim-128 "
+                             "contract point, fewer iterations/repeats)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.iterations = 1
+        args.repeats = 1
+
+    records, summary = measure(args.dim, args.rank, args.partitions,
+                               args.iterations, args.repeats)
+    emit("BENCH_update.json", records)
+    print(
+        f"per-column bytes: closures={summary['per_column_closures']:.0f} "
+        f"handles={summary['per_column_handles']:.0f} "
+        f"({summary['drop']:.1f}x drop); "
+        f"boolean_matmul batched {summary['matmul_speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,9 +7,12 @@ the pointwise vector-matrix product (Eq. 4).
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from ..observability.trace import kernel_span
+from . import packing
 from .bitmatrix import BitMatrix
 
 __all__ = [
@@ -19,27 +22,63 @@ __all__ = [
     "or_accumulate_table",
 ]
 
+#: Below this row count the per-row loop beats amortizing the 256-entry
+#: byte tables of the batched kernel.
+_BATCH_MIN_ROWS = 32
+
 
 def boolean_matmul(left: BitMatrix, right: BitMatrix) -> BitMatrix:
     """Boolean matrix product ``left ∘ right`` (Eq. 6).
 
-    ``(left ∘ right)[i, j] = OR_k left[i, k] AND right[k, j]``.  Implemented
-    row-wise: output row *i* is the OR of the rows of ``right`` selected by
-    the nonzeros of ``left``'s row *i* (Lemma 1).
+    ``(left ∘ right)[i, j] = OR_k left[i, k] AND right[k, j]``.  Output row
+    *i* is the OR of the rows of ``right`` selected by the nonzeros of
+    ``left``'s row *i* (Lemma 1).  For enough rows this dispatches to a
+    batched table-gather: ``left``'s packed rows are viewed as bytes, each
+    byte group of 8 inner columns gets its 256 possible row-ORs built once
+    by doubling (:func:`or_accumulate_table`), and the output is the OR of
+    one gathered table row per group — no per-row Python loop.
     """
     if left.n_cols != right.n_rows:
         raise ValueError(
             f"inner dimensions differ: {left.shape} ∘ {right.shape}"
         )
+    # The byte view of uint64 words only lines up with bit positions on
+    # little-endian hosts; elsewhere keep the loop.
+    batched = sys.byteorder == "little" and left.n_rows >= _BATCH_MIN_ROWS
     with kernel_span("boolean_matmul", m=left.n_rows, k=left.n_cols,
-                     n=right.n_cols):
-        out_words = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
-        left_dense = left.to_dense().astype(bool)
-        for i in range(left.n_rows):
-            selected = np.flatnonzero(left_dense[i])
-            if selected.size:
-                out_words[i] = np.bitwise_or.reduce(right.words[selected], axis=0)
-        return BitMatrix(left.n_rows, right.n_cols, out_words)
+                     n=right.n_cols, impl="batched" if batched else "rowloop"):
+        if batched:
+            return _boolean_matmul_batched(left, right)
+        return _boolean_matmul_rowloop(left, right)
+
+
+def _boolean_matmul_rowloop(left: BitMatrix, right: BitMatrix) -> BitMatrix:
+    """Reference per-row implementation (and small-matrix fast path)."""
+    out_words = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
+    left_dense = left.to_dense().astype(bool)
+    for i in range(left.n_rows):
+        selected = np.flatnonzero(left_dense[i])
+        if selected.size:
+            out_words[i] = np.bitwise_or.reduce(right.words[selected], axis=0)
+    return BitMatrix(left.n_rows, right.n_cols, out_words)
+
+
+def _boolean_matmul_batched(left: BitMatrix, right: BitMatrix) -> BitMatrix:
+    """Byte-group table gather: one 256-entry OR table per 8 inner columns.
+
+    ``left``'s padding bits are zero (BitMatrix invariant), so a partial
+    final group indexes only the low ``2**size`` table entries.
+    """
+    out = np.zeros((left.n_rows, right.words.shape[1]), dtype=np.uint64)
+    left_bytes = np.ascontiguousarray(left.words).view(np.uint8)
+    n_groups = (left.n_cols + 7) // 8
+    for group in range(n_groups):
+        size = min(8, left.n_cols - 8 * group)
+        table = or_accumulate_table(
+            right.words[8 * group : 8 * group + size], size
+        )
+        out |= table[left_bytes[:, group]]
+    return BitMatrix(left.n_rows, right.n_cols, out)
 
 
 def khatri_rao(left: BitMatrix, right: BitMatrix) -> BitMatrix:
@@ -50,32 +89,37 @@ def khatri_rao(left: BitMatrix, right: BitMatrix) -> BitMatrix:
     row ``p * right.n_rows + q``, matching the paper's matricization layout
     where block *p* of the unfolding corresponds to row *p* of the first
     (outer) matrix.
+
+    Operates directly on packed words: result row ``(p, q)`` is
+    ``left.words[p] & right.words[q]`` over the shared R-bit layout, so no
+    dense ``(P*Q, R)`` intermediate is materialized.
     """
     if left.n_cols != right.n_cols:
         raise ValueError(
             f"Khatri-Rao needs equal column counts: {left.shape} vs {right.shape}"
         )
-    left_dense = left.to_dense().astype(bool)
-    right_dense = right.to_dense().astype(bool)
-    # (P, 1, R) & (1, Q, R) -> (P, Q, R) -> (P*Q, R)
-    product = (left_dense[:, None, :] & right_dense[None, :, :]).astype(np.uint8)
-    flat = product.reshape(left.n_rows * right.n_rows, left.n_cols)
-    return BitMatrix.from_dense(flat)
+    # (P, 1, W) & (1, Q, W) -> (P, Q, W) -> (P*Q, W); padding stays zero
+    # because both operands' padding bits are zero.
+    words = (left.words[:, None, :] & right.words[None, :, :]).reshape(
+        left.n_rows * right.n_rows, left.words.shape[1]
+    )
+    return BitMatrix(left.n_rows * right.n_rows, left.n_cols, words)
 
 
 def pointwise_vector_matrix(vector: np.ndarray, matrix: BitMatrix) -> BitMatrix:
     """Pointwise vector-matrix product ``v ∗ M`` (Eq. 4).
 
     Column *r* of the result is ``v[r] * M[:, r]`` — i.e. columns of ``M``
-    are kept where the vector is 1 and zeroed where it is 0.
+    are kept where the vector is 1 and zeroed where it is 0.  One packed
+    AND of every row against the packed vector.
     """
     vector = np.asarray(vector).ravel()
     if vector.shape[0] != matrix.n_cols:
         raise ValueError(
             f"vector length {vector.shape[0]} != matrix columns {matrix.n_cols}"
         )
-    dense = matrix.to_dense() * vector.astype(np.uint8)[None, :]
-    return BitMatrix.from_dense(dense)
+    mask = packing.pack_bits(vector.astype(bool))
+    return BitMatrix(matrix.n_rows, matrix.n_cols, matrix.words & mask)
 
 
 def or_accumulate_table(columns_packed: np.ndarray, n_columns: int) -> np.ndarray:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitops import BitMatrix, or_accumulate_table, packing
-from ..observability.trace import kernel_span, record_metric
+from ..observability.trace import kernel_span, metrics_enabled, record_metric
 
 __all__ = ["split_groups", "RowSummationCache"]
 
@@ -66,6 +66,9 @@ class RowSummationCache:
                 or_accumulate_table(columns_packed[start : start + size], size)
                 for start, size in self.groups
             ]
+        #: Row r is the inner factor's column r packed over ``width`` bits —
+        #: the per-column coverage the delta update path reads worker-side.
+        self.columns_packed = columns_packed
         record_metric("cache_tables_built_total", len(self.full_tables))
         record_metric("cache_entries_total", self.n_entries)
         full_range = (0, self.width)
@@ -127,7 +130,10 @@ class RowSummationCache:
             raise ValueError(
                 f"got {len(tables)} tables but {len(keys)} key arrays"
             )
-        record_metric("cache_fetches_total")
+        # Guarded: fetch runs 2R times per partition per update, and with
+        # observability off the counter must cost one attribute read.
+        if metrics_enabled():
+            record_metric("cache_fetches_total")
         summation = tables[0][keys[0]]
         for table, key in zip(tables[1:], keys[1:]):
             summation = summation | table[key]

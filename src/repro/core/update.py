@@ -105,8 +105,8 @@ class CachedPartition:
             anded = masks_if_zero[:, None, :] & full_outer[None, :, :]
             keys = self.cache.group_keys(anded)
             rec_zero = self.cache.fetch(self.cache.full_tables, keys)
-            error_if_zero += packing.popcount_rows(
-                rec_zero ^ self.full_words
+            error_if_zero += packing.xor_popcount_rows(
+                rec_zero, self.full_words
             ).sum(axis=1)
             # Setting the entry to 1 adds component c's coverage, which in
             # PVM block j is outer[j, c] * inner[:, c] — only blocks with
@@ -125,7 +125,7 @@ class CachedPartition:
             anded = masks_if_zero & outer_words[block.pvm_index]
             keys = self.cache.group_keys(anded)
             rec_zero = self.cache.fetch(tables, keys)
-            error_if_zero += packing.popcount_rows(rec_zero ^ tensor_words)
+            error_if_zero += packing.xor_popcount_rows(rec_zero, tensor_words)
             if outer_column[block.pvm_index]:
                 sliced = packing.slice_bits(
                     inner_column_words[None, :], block.start, block.stop
@@ -136,26 +136,11 @@ class CachedPartition:
         return error_if_zero, error_if_zero + delta_if_one
 
 
-def _masks_with_bit_cleared(
-    words: np.ndarray, column: int, out: np.ndarray | None = None
-) -> np.ndarray:
-    """Packed row masks with bit ``column`` forced to 0.
-
-    ``out`` is an optional scratch buffer (same shape/dtype as ``words``)
-    reused across the column loop instead of allocating a fresh copy per
-    call — safe because each column's error stage completes synchronously
-    before the next column overwrites the buffer, and the process backend
-    pickles a snapshot anyway.  See ``benchmarks/bench_kernels.py`` for the
-    measured delta.
-    """
+def _masks_with_bit_cleared(words: np.ndarray, column: int) -> np.ndarray:
+    """Packed row masks with bit ``column`` forced to 0."""
     word_index, offset = divmod(column, packing.WORD_BITS)
-    bit = np.uint64(1 << offset)
-    if out is None:
-        masks = words.copy()
-    else:
-        masks = out
-        np.copyto(masks, words)
-    masks[:, word_index] &= ~bit
+    masks = words.copy()
+    masks[:, word_index] &= ~np.uint64(1 << offset)
     return masks
 
 
@@ -179,7 +164,13 @@ class _BuildCachedPartition:
 
 
 class _ColumnErrorsTask:
-    """Stage payload: one column's per-partition error evaluation."""
+    """Legacy stage payload: one column's error evaluation, closure-style.
+
+    Embeds the full target masks, outer factor words, and the inner column
+    in every task — O(n_rows·words) serialized bytes per task per column,
+    the traffic the broadcast-handle path eliminates.  Kept behind
+    ``ClusterConfig(handle_broadcasts=False)`` as the A/B baseline.
+    """
 
     __slots__ = (
         "masks_if_zero",
@@ -203,6 +194,64 @@ class _ColumnErrorsTask:
         )
 
 
+class _BuildCachedPartitionFromHandle:
+    """Stage payload: build the cache from a broadcast handle's factors.
+
+    The handle resolves to ``[target_words, outer_words, inner_words]``
+    worker-side; only the inner factor's dimensions ride in the payload.
+    """
+
+    __slots__ = ("factors", "inner_rows", "inner_cols", "group_size")
+
+    def __init__(self, factors, inner_rows: int, inner_cols: int, group_size: int):
+        self.factors = factors
+        self.inner_rows = inner_rows
+        self.inner_cols = inner_cols
+        self.group_size = group_size
+
+    def __call__(self, data) -> CachedPartition:
+        inner_words = self.factors.value[2]
+        inner = BitMatrix(self.inner_rows, self.inner_cols, inner_words)
+        return CachedPartition(data, RowSummationCache(inner, self.group_size))
+
+
+class _ColumnErrorsDeltaTask:
+    """Stage payload: one column's error evaluation, delta-only traffic.
+
+    Ships a broadcast handle plus the packed ~n_rows/8-byte column updates
+    already chosen this sweep.  The worker reconstructs the current target
+    masks itself — base factor words from the handle, prior columns applied
+    from the deltas, this column cleared in place — so per-column payloads
+    are O(n_rows/8) instead of O(n_rows·words).  Rebuilding from the base
+    every column (rather than mutating worker-local state) keeps the
+    computation a pure function of the payload, which is what makes results
+    bit-identical across serial, thread, and process backends.
+    """
+
+    __slots__ = ("factors", "column", "deltas", "n_rows")
+
+    def __init__(self, factors, column: int, deltas: tuple, n_rows: int):
+        self.factors = factors
+        self.column = column
+        self.deltas = deltas
+        self.n_rows = n_rows
+
+    def __call__(self, cached: CachedPartition):
+        target_words, outer_words, _ = self.factors.value
+        masks = target_words.copy()
+        for applied_column, delta in self.deltas:
+            chosen = np.unpackbits(delta.value, count=self.n_rows)
+            packing.set_bit_column(masks, applied_column, chosen)
+        word_index, offset = divmod(self.column, packing.WORD_BITS)
+        masks[:, word_index] &= ~np.uint64(1 << offset)
+        return cached.column_errors(
+            masks,
+            outer_words,
+            packing.bit_column(outer_words, self.column),
+            cached.cache.columns_packed[self.column],
+        )
+
+
 def update_factor(
     data_rdd: Distributed,
     target: BitMatrix,
@@ -220,9 +269,12 @@ def update_factor(
         raise ValueError(
             f"target has {target.n_cols} columns but config.rank is {config.rank}"
         )
+    handles = runtime.config.handle_broadcasts
     # Ship the factor matrices to the workers (paper Sec. III-E: factor
-    # matrices are broadcast each iteration).
-    runtime.broadcast(
+    # matrices are broadcast each iteration).  With handles on, the column
+    # tasks reference this broadcast by id; the legacy path broadcasts for
+    # the ledger charge but re-embeds the arrays in every task payload.
+    factors = runtime.broadcast(
         [target.words, outer.words, inner.words], name="updateFactor.broadcast"
     )
     # Algorithm 5: build the row-summation cache tables inside each
@@ -232,27 +284,37 @@ def update_factor(
     # stages of this update reuse it; the plan layer fuses the build into
     # the first column's stage (tapping the persist point), so it costs no
     # dedicated dispatch.
-    cached_rdd = data_rdd.map(
-        _BuildCachedPartition(inner, config.cache_group_size),
-        name="cacheRowSummations",
-    ).persist()
+    build_task = (
+        _BuildCachedPartitionFromHandle(
+            factors, inner.n_rows, inner.n_cols, config.cache_group_size
+        )
+        if handles
+        else _BuildCachedPartition(inner, config.cache_group_size)
+    )
+    cached_rdd = data_rdd.map(build_task, name="cacheRowSummations").persist()
 
     updated = target.copy()
     error_after = 0
     # Row r of inner^T is the inner factor's column r, packed over the PVM
-    # width — the coverage component c adds inside an active block.
-    inner_columns = inner.transpose().words
-    masks_scratch = np.empty_like(updated.words)
+    # width — the coverage component c adds inside an active block.  The
+    # handle path reads the same rows worker-side from the cache it built.
+    inner_columns = None if handles else inner.transpose().words
+    deltas: list[tuple] = []
     for column in range(config.rank):
-        per_partition = cached_rdd.map(
-            _ColumnErrorsTask(
-                _masks_with_bit_cleared(updated.words, column, out=masks_scratch),
+        if handles:
+            task = _ColumnErrorsDeltaTask(
+                factors, column, tuple(deltas), updated.n_rows
+            )
+        else:
+            task = _ColumnErrorsTask(
+                _masks_with_bit_cleared(updated.words, column),
                 outer.words,
                 outer.column(column),
                 inner_columns[column],
-            ),
-            name="columnErrors",
-        ).collect(name="collectColumnErrors")
+            )
+        per_partition = cached_rdd.map(task, name="columnErrors").collect(
+            name="collectColumnErrors"
+        )
         error_if_zero = np.zeros(updated.n_rows, dtype=np.int64)
         error_if_one = np.zeros(updated.n_rows, dtype=np.int64)
         for partial_zero, partial_one in per_partition:
@@ -264,8 +326,12 @@ def update_factor(
         updated.set_column(column, chosen)
         error_after = int(np.minimum(error_if_zero, error_if_one).sum())
         # The workers need the freshly updated column for the next
-        # column-iteration; charge that transfer.
-        runtime.broadcast(np.packbits(chosen), name="columnUpdate")
+        # column-iteration; charge that transfer.  With handles on, later
+        # column tasks reference these packed deltas to rebuild the target
+        # state worker-side.
+        delta = runtime.broadcast(np.packbits(chosen), name="columnUpdate")
+        if handles:
+            deltas.append((column, delta))
     # The cache tables are stale the moment `inner` changes in the next
     # mode's update; evict rather than letting them pile up until close().
     cached_rdd.unpersist()

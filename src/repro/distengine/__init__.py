@@ -10,7 +10,7 @@ from .backends import (
     ThreadBackend,
     make_backend,
 )
-from .broadcast import Broadcast
+from .broadcast import Broadcast, BroadcastHandle
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
 from .plan import FusedChainTask, LogicalPlan, PhysicalStage, PlanNode, PlanOptimizer
@@ -27,6 +27,7 @@ __all__ = [
     "ProcessBackend",
     "make_backend",
     "Broadcast",
+    "BroadcastHandle",
     "FaultInjector",
     "InjectedTaskFailure",
     "TaskFailedError",

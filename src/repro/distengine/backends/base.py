@@ -214,6 +214,12 @@ class Backend(ABC):
 
     name = "abstract"
 
+    #: Whether workers see the driver's objects directly.  Backends that
+    #: cross a process boundary set this False, which tells the runtime to
+    #: spill broadcast values to disk so workers can resolve
+    #: :class:`~repro.distengine.broadcast.BroadcastHandle` references.
+    shares_driver_memory = True
+
     @abstractmethod
     def run_stage(
         self,

@@ -104,5 +104,9 @@ class ProcessBackend(_PoolBackend):
 
     name = "process"
 
+    # Workers live in other interpreters: broadcast handles must resolve
+    # from spill files, not from driver memory.
+    shares_driver_memory = False
+
     def _make_executor(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self._effective_workers())

@@ -4,26 +4,113 @@ Mirrors Spark broadcasts: the driver ships one read-only copy of a value to
 every machine.  DBTF broadcasts the three factor matrices each iteration
 (paper Sec. III-E); the engine charges ``size × n_machines`` bytes of
 network traffic for each broadcast when replaying the cost model.
+
+:class:`BroadcastHandle` is what :meth:`SimulatedRuntime.broadcast` returns:
+a first-class, content-addressed reference that task payloads embed *instead
+of* the value itself.  Pickling a handle drops the value — only the content
+id, the metadata, and (for process pools) a spill-file path cross the task
+boundary — so a handle inside a task payload costs a few dozen bytes per
+task while the value is transferred once per worker, exactly the Spark
+semantics the closure-capture pattern was approximating.
+
+Resolution is deliberately span- and metric-free: the serial and thread
+backends resolve from driver memory while a process worker loads the spill
+file once into its process-local store, and instrumenting that difference
+would break the engine's backend-invariant trace structure.
 """
 
 from __future__ import annotations
 
-__all__ = ["Broadcast"]
+import pickle
+from typing import Any
+
+__all__ = ["Broadcast", "BroadcastHandle"]
+
+#: Process-local broadcast store: ``content_id -> value``.  Each worker
+#: process pays the deserialization once per distinct broadcast value, no
+#: matter how many task payloads reference the handle.
+_STORE: dict[str, Any] = {}
+
+_MISSING = object()
 
 
-class Broadcast:
-    """A read-only value shipped to every worker."""
+def _store_size() -> int:
+    """Number of distinct broadcast values resident in this process."""
+    return len(_STORE)
 
-    __slots__ = ("_value", "name", "n_bytes")
 
-    def __init__(self, value: object, name: str, n_bytes: int):
+def clear_store() -> None:
+    """Drop every value from this process's broadcast store."""
+    _STORE.clear()
+
+
+class BroadcastHandle:
+    """A content-addressed reference to a broadcast value.
+
+    ``content_id`` is a stable content hash assigned by the runtime; two
+    broadcasts of equal payloads share an id (and therefore a store entry
+    and a spill file).  ``spill_path`` is set by the runtime when the
+    backend does not share the driver's memory; it names a pickle of the
+    value that any worker process can load.
+    """
+
+    __slots__ = ("content_id", "name", "n_bytes", "spill_path", "_value")
+
+    def __init__(
+        self,
+        value: object,
+        content_id: str,
+        name: str,
+        n_bytes: int,
+        spill_path: str | None = None,
+    ):
         self._value = value
+        self.content_id = content_id
         self.name = name
         self.n_bytes = n_bytes
+        self.spill_path = spill_path
 
     @property
     def value(self) -> object:
-        return self._value
+        """The broadcast value, resolved from the nearest copy.
+
+        Driver-side (and under the serial/thread backends) this is the
+        in-memory value.  In a process-pool worker the handle arrives
+        without its value and resolves through the process-local store,
+        loading the spill file on first use.
+        """
+        if self._value is not _MISSING:
+            return self._value
+        cached = _STORE.get(self.content_id, _MISSING)
+        if cached is not _MISSING:
+            self._value = cached
+            return cached
+        if self.spill_path is None:
+            raise RuntimeError(
+                f"broadcast {self.name!r} ({self.content_id}) has no value "
+                f"in this process and no spill file to load it from"
+            )
+        with open(self.spill_path, "rb") as stream:
+            loaded = pickle.load(stream)
+        _STORE[self.content_id] = loaded
+        self._value = loaded
+        return loaded
+
+    def __getstate__(self) -> tuple:
+        # The value never rides inside a pickled handle — that is the whole
+        # point.  Workers re-resolve through the store / spill file.
+        return (self.content_id, self.name, self.n_bytes, self.spill_path)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.content_id, self.name, self.n_bytes, self.spill_path = state
+        self._value = _MISSING
 
     def __repr__(self) -> str:
-        return f"Broadcast({self.name!r}, {self.n_bytes} bytes)"
+        return (
+            f"BroadcastHandle({self.name!r}, {self.n_bytes} bytes, "
+            f"id={self.content_id})"
+        )
+
+
+#: Historical name; ``runtime.broadcast`` has always returned this type.
+Broadcast = BroadcastHandle

@@ -76,6 +76,15 @@ class ClusterConfig:
         recharging the ledger.  Off by default: the reproduced lemma
         measurements deliberately count repeated per-iteration broadcast
         volume (see docs/plan.md).
+    handle_broadcasts:
+        ``True`` (the default) makes the factor-update hot path reference
+        broadcast values through :class:`~repro.distengine.broadcast.
+        BroadcastHandle` ids inside task payloads and ship only packed
+        per-column deltas, instead of embedding the factor arrays in every
+        per-column task closure.  Factors and error traces are identical
+        either way; only the metered task-payload bytes differ.  ``False``
+        restores the legacy closure-capture path for A/B measurement
+        (``benchmarks/bench_update.py``).
     """
 
     n_machines: int = 16
@@ -89,6 +98,7 @@ class ClusterConfig:
     speculation: SpeculationConfig | None = None
     eager: bool = False
     dedup_broadcasts: bool = False
+    handle_broadcasts: bool = True
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -142,6 +152,10 @@ class ClusterConfig:
     def with_broadcast_dedup(self, dedup: bool = True) -> "ClusterConfig":
         """The same cluster with content-hash broadcast dedup toggled."""
         return replace(self, dedup_broadcasts=dedup)
+
+    def with_handle_broadcasts(self, handles: bool = True) -> "ClusterConfig":
+        """The same cluster with the broadcast-handle hot path toggled."""
+        return replace(self, handle_broadcasts=handles)
 
 
 DEFAULT_CLUSTER = ClusterConfig()

@@ -11,6 +11,10 @@ backends" for why this substitution preserves the paper's measurements).
 
 from __future__ import annotations
 
+import os
+import pickle
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -72,10 +76,16 @@ class ExecutionReport:
     total_retry_wait: float = 0.0
     tasks_speculated: int = 0
     speculative_wins: int = 0
+    #: Serialized task-payload bytes shipped at stage launch (closure
+    #: capture); already summed over tasks, crosses the network once.
+    task_bytes: int = 0
 
     @property
     def network_bytes(self) -> int:
-        return self.shuffle_bytes + self.broadcast_bytes + self.collect_bytes
+        return (
+            self.shuffle_bytes + self.broadcast_bytes + self.collect_bytes
+            + self.task_bytes
+        )
 
 
 class SimulatedRuntime:
@@ -126,6 +136,9 @@ class SimulatedRuntime:
         self._plan_counter = 0
         self._persisted_nodes: list[PlanNode] = []
         self._broadcast_cache: dict[int, Broadcast] = {}
+        # Spill directory for broadcast values when the backend does not
+        # share the driver's memory; created lazily, removed by close().
+        self._spill_dir: str | None = None
 
     @property
     def eager(self) -> bool:
@@ -136,6 +149,9 @@ class SimulatedRuntime:
         """Evict every persist cache, then shut down the worker pool."""
         self.evict_all()
         self.backend.close()
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
 
     def __enter__(self) -> "SimulatedRuntime":
         return self
@@ -178,6 +194,16 @@ class SimulatedRuntime:
     def broadcast(self, value: Any, name: str = "broadcast") -> Broadcast:
         """Ship one read-only copy of ``value`` toward every machine.
 
+        Returns a content-addressed
+        :class:`~repro.distengine.broadcast.BroadcastHandle`.  Task
+        payloads embed the handle instead of the value: pickling a handle
+        drops the value, so referencing a broadcast from N per-column tasks
+        costs N × ~32 bytes instead of N copies of the arrays.  When the
+        backend does not share driver memory (process pools) the value is
+        spilled once to a content-addressed file that worker processes load
+        on first resolution — one transfer per worker per value, which is
+        exactly what the single BROADCAST ledger charge models.
+
         With ``ClusterConfig(dedup_broadcasts=True)`` a payload whose
         content hash matches an earlier broadcast is served from the
         driver's cache: nothing is charged to the ledger and
@@ -185,22 +211,47 @@ class SimulatedRuntime:
         several reproduced lemma measurements count repeated broadcast
         volume deliberately (see docs/plan.md).
         """
+        fingerprint = stable_hash(value)
+        content_id = f"{fingerprint:016x}"
         if self.config.dedup_broadcasts:
-            fingerprint = stable_hash(value)
             cached = self._broadcast_cache.get(fingerprint)
             if cached is not None:
                 self.metrics.counter(
                     "broadcast_dedup_hits_total", broadcast=name
                 ).inc()
-                return Broadcast(cached.value, name, cached.n_bytes)
+                return Broadcast(
+                    cached.value, content_id, name, cached.n_bytes,
+                    cached.spill_path,
+                )
         n_bytes = estimate_bytes(value)
         self._broadcast_base_bytes += n_bytes
         # The ledger stores the per-machine copy; replay multiplies by M.
         self.record_transfer(TransferKind.BROADCAST, name, n_bytes)
-        result = Broadcast(value, name, n_bytes)
+        result = Broadcast(
+            value, content_id, name, n_bytes, self._spill(content_id, value)
+        )
         if self.config.dedup_broadcasts:
             self._broadcast_cache[fingerprint] = result
         return result
+
+    def _spill(self, content_id: str, value: Any) -> str | None:
+        """Write ``value`` where worker processes can load it, if needed.
+
+        Spill files are content-addressed, so re-broadcasting an equal
+        value reuses the existing file.  Returns ``None`` under backends
+        whose workers already see driver memory.
+        """
+        if self.backend.shares_driver_memory:
+            return None
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-broadcast-")
+        path = os.path.join(self._spill_dir, content_id + ".pkl")
+        if not os.path.exists(path):
+            staging = path + ".tmp"
+            with open(staging, "wb") as stream:
+                pickle.dump(value, stream, protocol=4)
+            os.replace(staging, path)
+        return path
 
     # ------------------------------------------------------------------
     # Plan layer: lazy lineage, fusion, persist caches
@@ -289,6 +340,17 @@ class SimulatedRuntime:
         cost model — and the trace/metrics layer — identically.
         """
         tracing = self.tracer is not None
+        # The serialized task payload ships to every task at stage launch —
+        # Spark's closure-capture cost.  Metering it is what makes embedding
+        # arrays in a payload visibly more expensive than referencing a
+        # BroadcastHandle (~32 bytes on the wire).
+        indexed_partitions = list(indexed_partitions)
+        payload_bytes = estimate_bytes(task_fn)
+        if payload_bytes and indexed_partitions:
+            self.record_transfer(
+                TransferKind.TASK, stage_name,
+                payload_bytes * len(indexed_partitions),
+            )
         started = time.perf_counter()
         stage = self.backend.run_stage(
             stage_name, task_fn, indexed_partitions, self.fault_injector,
@@ -447,9 +509,9 @@ class SimulatedRuntime:
         Per stage: the LPT makespan of its measured task durations over
         ``M × cores`` slots, a task-launch overhead per task wave, and a
         machine-independent driver latency (the serial fraction that makes
-        real Spark speed-ups sublinear).  Network: shuffle and collect bytes
-        cross the network once; broadcast bytes are shipped once per
-        machine.
+        real Spark speed-ups sublinear).  Network: shuffle, collect, and
+        task-payload bytes cross the network once (the ledger already sums
+        payloads over tasks); broadcast bytes are shipped once per machine.
 
         Resilience folds in here: each task's simulated retry-backoff wait
         extends its duration, and with speculation configured the modelled
@@ -472,8 +534,10 @@ class SimulatedRuntime:
             compute += self.config.driver_latency_sec
         shuffle_bytes = self.ledger.bytes_of_kind(TransferKind.SHUFFLE)
         collect_bytes = self.ledger.bytes_of_kind(TransferKind.COLLECT)
+        task_bytes = self.ledger.bytes_of_kind(TransferKind.TASK)
         network_bytes = (
-            shuffle_bytes + collect_bytes + self._broadcast_base_bytes * machines
+            shuffle_bytes + collect_bytes + task_bytes
+            + self._broadcast_base_bytes * machines
         )
         network_time = network_bytes / self.config.network_bytes_per_sec
         # The cost replay (the scheduler's consumer) reports its split into
@@ -532,4 +596,5 @@ class SimulatedRuntime:
             ),
             tasks_speculated=int(speculated),
             speculative_wins=int(wins),
+            task_bytes=self.ledger.bytes_of_kind(TransferKind.TASK),
         )

@@ -9,32 +9,60 @@ records every transfer so the experiments can verify those bounds.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import sys
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ShuffleLedger", "estimate_bytes", "stable_hash", "TransferKind"]
+from .broadcast import BroadcastHandle
+
+__all__ = [
+    "ShuffleLedger",
+    "estimate_bytes",
+    "stable_hash",
+    "TransferKind",
+    "HANDLE_WIRE_BYTES",
+]
 
 
 class TransferKind:
-    """Categories of network transfer the ledger distinguishes."""
+    """Categories of network transfer the ledger distinguishes.
+
+    ``TASK`` is the serialized task payload the driver ships to workers at
+    stage launch — the closure-capture cost Spark charges per task.  Before
+    the broadcast-handle plane this traffic was invisible; metering it is
+    what makes the handle-vs-closure comparison honest.
+    """
 
     SHUFFLE = "shuffle"
     BROADCAST = "broadcast"
     COLLECT = "collect"
+    TASK = "task"
 
-    ALL = (SHUFFLE, BROADCAST, COLLECT)
+    ALL = (SHUFFLE, BROADCAST, COLLECT, TASK)
+
+
+#: What a :class:`BroadcastHandle` costs on the wire inside a task payload:
+#: the content id, the name, and two small integers — not the value.
+HANDLE_WIRE_BYTES = 32
 
 
 def estimate_bytes(obj: object) -> int:
     """Approximate serialized size of a Python object, recursively.
 
     Numpy buffers dominate DBTF's traffic, so those are exact; containers
-    add a small per-element overhead; everything else falls back to
-    ``sys.getsizeof``.
+    add a small per-element overhead; broadcast handles cost their fixed
+    wire size (never the value they reference); payload objects — slotted
+    task callables and plain attribute-carrying instances — recurse over
+    their attributes so closure-captured arrays are counted at full size.
+    Everything else falls back to ``sys.getsizeof``.
     """
+    return _estimate(obj, None)
+
+
+def _estimate(obj: object, seen: "set[int] | None") -> int:
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
@@ -45,17 +73,54 @@ def estimate_bytes(obj: object) -> int:
         return len(obj)
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
+    if isinstance(obj, BroadcastHandle):
+        return HANDLE_WIRE_BYTES
     if isinstance(obj, dict):
-        return sum(estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items()) + 8
+        return (
+            sum(_estimate(k, seen) + _estimate(v, seen) for k, v in obj.items())
+            + 8
+        )
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(estimate_bytes(item) for item in obj) + 8
+        return sum(_estimate(item, seen) for item in obj) + 8
     nbytes = getattr(obj, "nbytes", None)
     if nbytes is not None:
         return int(nbytes)
     words = getattr(obj, "words", None)
     if isinstance(words, np.ndarray):  # BitMatrix and friends
         return int(words.nbytes)
+    attrs = _payload_attrs(obj)
+    if attrs is not None:
+        if seen is None:
+            seen = set()
+        if id(obj) in seen:  # cycle guard for self-referential payloads
+            return 0
+        seen.add(id(obj))
+        return sum(_estimate(value, seen) for value in attrs) + 8
     return sys.getsizeof(obj)
+
+
+def _payload_attrs(obj: object) -> "list | None":
+    """Attribute values of a payload-like object, or ``None`` to fall back.
+
+    Task payloads in this engine are slotted callables carrying their
+    captured values as attributes; configs and tensors are plain instances
+    with a ``__dict__``.  Objects with neither (functions, builtins) keep
+    the ``getsizeof`` fallback.
+    """
+    values: list = []
+    found_slots = False
+    for klass in type(obj).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            found_slots = True
+            values.append(getattr(obj, name, None))
+    instance_dict = getattr(obj, "__dict__", None)
+    if instance_dict:
+        values.extend(instance_dict.values())
+        return values
+    return values if found_slots else None
 
 
 def _hash_bytes(key: object) -> bytes:
@@ -89,7 +154,15 @@ def _hash_bytes(key: object) -> bytes:
             for item in key
         )
         return (b"t" if isinstance(key, tuple) else b"l") + digests
-    return b"r" + repr(key).encode("utf-8")
+    words = getattr(key, "words", None)
+    if isinstance(words, np.ndarray):  # BitMatrix and friends
+        return b"w" + type(key).__name__.encode("utf-8") + b":" + _hash_bytes(words)
+    # Content ids key the worker-side broadcast store, so the fallback must
+    # reflect the value, not its (possibly content-free) repr.
+    try:
+        return b"p" + pickle.dumps(key, protocol=4)
+    except Exception:
+        return b"r" + repr(key).encode("utf-8")
 
 
 def stable_hash(key: object) -> int:

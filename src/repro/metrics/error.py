@@ -54,9 +54,7 @@ def fast_reconstruction_error(
         anded = a_matrix.words & c_matrix.words[k]
         keys = cache.group_keys(anded)
         reconstructed = cache.fetch(tables, keys)  # (I, words)
-        error += int(
-            packing.popcount_rows(reconstructed ^ packed.words[:, k, :]).sum()
-        )
+        error += packing.xor_popcount(reconstructed, packed.words[:, k, :])
     return error
 
 

@@ -273,11 +273,13 @@ def cp_nway(
 
 
 class _RestartTask:
-    """Stage payload: solve the restarts assigned to one partition.
+    """Legacy stage payload: solve the restarts assigned to one partition.
 
     Each restart derives its generator from ``seed + restart`` (the same
     rule as the sequential path), so the candidate set — and therefore the
-    selected best — is identical under every backend.
+    selected best — is identical under every backend.  Embeds the tensor
+    and unfoldings in every task; the handle variant below references one
+    broadcast instead.
     """
 
     __slots__ = ("tensor", "unfoldings", "config")
@@ -292,6 +294,33 @@ class _RestartTask:
             _solve_once(
                 self.tensor,
                 self.unfoldings,
+                self.config,
+                np.random.default_rng(self.config.seed + restart),
+            )
+            for restart in restarts
+        ]
+
+
+class _RestartTaskFromHandle:
+    """Stage payload: restart solves referencing one problem broadcast.
+
+    The handle resolves to ``(tensor, unfoldings)`` worker-side, so each
+    of the N restart tasks ships ~32 bytes of problem data instead of the
+    full tensor plus every packed unfolding.
+    """
+
+    __slots__ = ("problem", "config")
+
+    def __init__(self, problem, config):
+        self.problem = problem
+        self.config = config
+
+    def __call__(self, _index: int, restarts: list[int]) -> list["NwayCpResult"]:
+        tensor, unfoldings = self.problem.value
+        return [
+            _solve_once(
+                tensor,
+                unfoldings,
                 self.config,
                 np.random.default_rng(self.config.seed + restart),
             )
@@ -328,9 +357,15 @@ def _solve_restarts(
     # barrier.  The runtime handles what the manual backend call used to —
     # stage/task counters, worker metric-delta merging, and span grafting —
     # on the caller's registries.
-    task = _RestartTask(tensor, unfoldings, config)
     cluster = DEFAULT_CLUSTER.with_backend(config.backend, config.n_workers)
     with SimulatedRuntime(cluster, tracer=tracer, metrics=metrics) as runtime:
+        if runtime.config.handle_broadcasts:
+            problem = runtime.broadcast(
+                (tensor, unfoldings), name="cpNway.broadcast"
+            )
+            task = _RestartTaskFromHandle(problem, config)
+        else:
+            task = _RestartTask(tensor, unfoldings, config)
         partitions = (
             runtime.from_partitions([[r] for r in restarts], name="cpNway")
             .map_partitions_with_index(task, name="cpNway.restarts")

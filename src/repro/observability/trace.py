@@ -39,6 +39,7 @@ __all__ = [
     "current_task_context",
     "kernel_span",
     "record_metric",
+    "metrics_enabled",
 ]
 
 
@@ -351,6 +352,16 @@ def kernel_span(name: str, **attrs: Any):
     if context is None:
         return _NULL_SPAN
     return _KernelSpan(context, name, attrs)
+
+
+def metrics_enabled() -> bool:
+    """Whether a task context is collecting metric increments right now.
+
+    One thread-local attribute read.  Hot loops (per-fetch counters) guard
+    their :func:`record_metric` calls with this so the disabled path pays
+    no call-argument setup at all.
+    """
+    return getattr(_ACTIVE, "context", None) is not None
 
 
 def record_metric(

@@ -126,7 +126,7 @@ class TuckerCachedPartition:
             if keys is None:
                 keys = cache.group_keys(masks_if_zero)
             rec_zero = cache.fetch(tables, keys)
-            error_if_zero += packing.popcount_rows(rec_zero ^ tensor_words)
+            error_if_zero += packing.xor_popcount_rows(rec_zero, tensor_words)
             addition = coverage_sliced[column]
             newly = addition[None, :] & ~rec_zero
             delta_if_one += packing.popcount_rows(newly)
@@ -156,7 +156,12 @@ class _BuildTuckerCache:
 
 
 class _TuckerColumnErrorsTask:
-    """Stage payload: one Tucker column's per-partition error evaluation."""
+    """Legacy stage payload: one Tucker column's error evaluation.
+
+    Embeds the full target masks per task — the traffic the broadcast-handle
+    path eliminates.  Kept behind ``ClusterConfig(handle_broadcasts=False)``
+    as the A/B baseline.
+    """
 
     __slots__ = ("masks_if_zero", "column")
 
@@ -166,6 +171,59 @@ class _TuckerColumnErrorsTask:
 
     def __call__(self, cached: TuckerCachedPartition):
         return cached.column_errors(self.masks_if_zero, self.column)
+
+
+class _BuildTuckerCacheFromHandle:
+    """Stage payload: build the Tucker caches from a broadcast handle.
+
+    The handle resolves to ``[target_words, outer_words, inner_words,
+    core_perm]`` worker-side; only matrix dimensions ride in the payload.
+    """
+
+    __slots__ = ("factors", "outer_shape", "inner_shape", "group_size")
+
+    def __init__(self, factors, outer_shape, inner_shape, group_size):
+        self.factors = factors
+        self.outer_shape = outer_shape
+        self.inner_shape = inner_shape
+        self.group_size = group_size
+
+    def __call__(self, data) -> TuckerCachedPartition:
+        _, outer_words, inner_words, core_perm = self.factors.value
+        outer = BitMatrix(*self.outer_shape, outer_words)
+        inner = BitMatrix(*self.inner_shape, inner_words)
+        return TuckerCachedPartition(
+            data, outer, inner, core_perm, self.group_size
+        )
+
+
+class _TuckerColumnErrorsDeltaTask:
+    """Stage payload: one Tucker column's errors, delta-only traffic.
+
+    Same reconstruction discipline as the CP
+    :class:`~repro.core.update._ColumnErrorsDeltaTask`: base target words
+    from the handle, prior columns re-applied from packed deltas, this
+    column cleared in place — a pure function of the payload, so results
+    stay bit-identical across backends.
+    """
+
+    __slots__ = ("factors", "column", "deltas", "n_rows")
+
+    def __init__(self, factors, column: int, deltas: tuple, n_rows: int):
+        self.factors = factors
+        self.column = column
+        self.deltas = deltas
+        self.n_rows = n_rows
+
+    def __call__(self, cached: TuckerCachedPartition):
+        target_words = self.factors.value[0]
+        masks = target_words.copy()
+        for applied_column, delta in self.deltas:
+            chosen = np.unpackbits(delta.value, count=self.n_rows)
+            packing.set_bit_column(masks, applied_column, chosen)
+        word_index, offset = divmod(self.column, packing.WORD_BITS)
+        masks[:, word_index] &= ~np.uint64(1 << offset)
+        return cached.column_errors(masks, self.column)
 
 
 def update_tucker_factor(
@@ -178,27 +236,36 @@ def update_tucker_factor(
     runtime: SimulatedRuntime,
 ) -> tuple[BitMatrix, int]:
     """Distributed greedy column update of one Tucker factor."""
-    runtime.broadcast(
+    handles = runtime.config.handle_broadcasts
+    factors = runtime.broadcast(
         [target.words, outer.words, inner.words, core_perm],
         name="updateTuckerFactor.broadcast",
     )
     # Persisted for the same reason as the CP update: every column stage
     # reuses the per-pattern caches, and the plan layer fuses the build
     # into the first column's stage via a persist tap.
-    cached_rdd = data_rdd.map(
-        _BuildTuckerCache(outer, inner, core_perm, group_size),
-        name="cacheTuckerSummations",
-    ).persist()
+    build_task = (
+        _BuildTuckerCacheFromHandle(
+            factors, outer.shape, inner.shape, group_size
+        )
+        if handles
+        else _BuildTuckerCache(outer, inner, core_perm, group_size)
+    )
+    cached_rdd = data_rdd.map(build_task, name="cacheTuckerSummations").persist()
     updated = target.copy()
     error_after = 0
-    masks_scratch = np.empty_like(updated.words)
+    deltas: list[tuple] = []
     for column in range(target.n_cols):
-        masks_if_zero = _masks_with_bit_cleared(
-            updated.words, column, out=masks_scratch
-        )
+        if handles:
+            task = _TuckerColumnErrorsDeltaTask(
+                factors, column, tuple(deltas), updated.n_rows
+            )
+        else:
+            task = _TuckerColumnErrorsTask(
+                _masks_with_bit_cleared(updated.words, column), column
+            )
         per_partition = cached_rdd.map(
-            _TuckerColumnErrorsTask(masks_if_zero, column),
-            name="tuckerColumnErrors",
+            task, name="tuckerColumnErrors"
         ).collect(name="collectTuckerColumnErrors")
         error_if_zero = np.zeros(updated.n_rows, dtype=np.int64)
         error_if_one = np.zeros(updated.n_rows, dtype=np.int64)
@@ -208,7 +275,9 @@ def update_tucker_factor(
         chosen = (error_if_one < error_if_zero).astype(np.uint8)
         updated.set_column(column, chosen)
         error_after = int(np.minimum(error_if_zero, error_if_one).sum())
-        runtime.broadcast(np.packbits(chosen), name="tuckerColumnUpdate")
+        delta = runtime.broadcast(np.packbits(chosen), name="tuckerColumnUpdate")
+        if handles:
+            deltas.append((column, delta))
     cached_rdd.unpersist()
     return updated, error_after
 

@@ -52,6 +52,32 @@ class TestWideCaches:
                 expected = (row_mask >> start) & ((1 << size) - 1)
                 assert int(key_array[row]) == expected
 
+    def test_fetch_through_cross_word_keys(self):
+        # End-to-end over the slow path: with rank 130 the masks span three
+        # words and most groups straddle word boundaries; fetched summations
+        # must still match the dense reference.
+        rng = np.random.default_rng(3)
+        rank = 130
+        inner = BitMatrix.random(12, rank, 0.2, rng)
+        cache = RowSummationCache(inner, group_size=12)
+        assert any(
+            start // 64 != (start + size - 1) // 64 for start, size in cache.groups
+        )
+        masks = BitMatrix.random(6, rank, 0.3, rng)
+        fetched = cache.fetch(cache.full_tables, cache.group_keys(masks.words))
+        dense_inner = inner.to_dense()
+        dense_masks = masks.to_dense().astype(bool)
+        for row in range(6):
+            selected = np.flatnonzero(dense_masks[row])
+            expected = (
+                (dense_inner[:, selected].sum(axis=1) > 0).astype(np.uint8)
+                if selected.size
+                else np.zeros(12, dtype=np.uint8)
+            )
+            np.testing.assert_array_equal(
+                packing.unpack_bits(fetched[row], 12), expected
+            )
+
     def test_sliced_tables_on_wide_inner(self):
         rng = np.random.default_rng(2)
         inner = BitMatrix.random(200, 3, 0.4, rng)

@@ -1,0 +1,173 @@
+"""Tests for the broadcast-handle comms plane.
+
+The contract: ``runtime.broadcast`` returns a first-class, content-addressed
+:class:`BroadcastHandle`; pickling a handle drops the value (workers resolve
+it from the backend-local store or a spill file); task payloads that embed a
+handle cost ~32 wire bytes instead of the value's full size; and the
+delta-only factor-update path produces bit-identical factors and error
+traces while shipping a fraction of the legacy closure path's bytes.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import DbtfConfig, dbtf
+from repro.distengine import (
+    BroadcastHandle,
+    ClusterConfig,
+    SimulatedRuntime,
+)
+from repro.distengine.broadcast import _STORE, clear_store
+from repro.distengine.shuffle import HANDLE_WIRE_BYTES, TransferKind, estimate_bytes
+from repro.tensor import SparseBoolTensor, planted_tensor
+
+
+@pytest.fixture
+def clean_store():
+    clear_store()
+    yield
+    clear_store()
+
+
+class TestBroadcastHandle:
+    def test_broadcast_returns_handle(self):
+        with SimulatedRuntime(ClusterConfig()) as runtime:
+            handle = runtime.broadcast(np.arange(10), name="xs")
+            assert isinstance(handle, BroadcastHandle)
+            assert handle.name == "xs"
+            assert handle.n_bytes == estimate_bytes(np.arange(10))
+            assert len(handle.content_id) == 16
+            np.testing.assert_array_equal(handle.value, np.arange(10))
+
+    def test_pickle_drops_value_and_resolves_from_store(self, clean_store):
+        value = np.arange(32)
+        handle = BroadcastHandle(value, "aa" * 8, "xs", value.nbytes)
+        wire = pickle.dumps(handle)
+        # The value never rides inside a pickled handle.
+        assert len(wire) < 200
+        revived = pickle.loads(wire)
+        _STORE[handle.content_id] = value
+        np.testing.assert_array_equal(revived.value, value)
+
+    def test_resolution_from_spill_file(self, clean_store, tmp_path):
+        value = list(range(100))
+        spill = tmp_path / "cafe.pkl"
+        spill.write_bytes(pickle.dumps(value))
+        handle = pickle.loads(
+            pickle.dumps(
+                BroadcastHandle(value, "cafe" * 4, "xs", 800, str(spill))
+            )
+        )
+        assert handle.value == value
+        # Loaded once into the store; later handles hit it without the file.
+        assert _STORE[handle.content_id] == value
+
+    def test_unresolvable_handle_raises(self, clean_store):
+        handle = pickle.loads(
+            pickle.dumps(BroadcastHandle([1], "beef" * 4, "xs", 8))
+        )
+        with pytest.raises(RuntimeError, match="no value"):
+            handle.value
+
+    def test_handle_costs_constant_wire_bytes(self):
+        big = np.zeros(1 << 16, dtype=np.uint64)
+        handle = BroadcastHandle(big, "ab" * 8, "big", big.nbytes)
+        assert estimate_bytes(handle) == HANDLE_WIRE_BYTES
+        # ... and the same inside a task-payload container.
+        assert estimate_bytes([handle, handle]) == 2 * HANDLE_WIRE_BYTES + 8
+
+    def test_equal_values_share_content_id(self):
+        with SimulatedRuntime(ClusterConfig(dedup_broadcasts=False)) as runtime:
+            first = runtime.broadcast(np.arange(8), name="a")
+            second = runtime.broadcast(np.arange(8), name="b")
+            assert first.content_id == second.content_id
+
+
+def _dbtf_outcome(tensor, handles, backend="serial", **overrides):
+    config = DbtfConfig(rank=8, max_iterations=2, seed=7, n_partitions=4,
+                        **overrides)
+    cluster = ClusterConfig(
+        n_machines=2, cores_per_machine=2, backend=backend, n_workers=2,
+        handle_broadcasts=handles,
+    )
+    runtime = SimulatedRuntime(cluster)
+    try:
+        result = dbtf(tensor, config=config, runtime=runtime)
+        by_stage = dict(runtime.ledger.by_stage)
+        task_bytes = runtime.ledger.bytes_of_kind(TransferKind.TASK)
+    finally:
+        runtime.close()
+    return result, by_stage, task_bytes
+
+
+def _per_column_bytes(by_stage):
+    """Driver->worker bytes attributable to the per-column sweep."""
+    column_task = sum(
+        value
+        for name, value in by_stage.items()
+        if "columnErrors" in name and "collect" not in name
+    )
+    return column_task + by_stage.get("columnUpdate", 0)
+
+
+class TestHandlePathEquivalence:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        return planted_tensor(
+            (40, 32, 24), rank=4, factor_density=0.4,
+            rng=np.random.default_rng(11), additive_noise=0.02,
+        )[0]
+
+    def test_bit_identical_to_legacy_closures(self, tensor):
+        on, _, _ = _dbtf_outcome(tensor, handles=True)
+        off, _, _ = _dbtf_outcome(tensor, handles=False)
+        assert on.error == off.error
+        assert on.errors_per_iteration == off.errors_per_iteration
+        for handle_factor, legacy_factor in zip(on.factors, off.factors):
+            assert np.array_equal(handle_factor.words, legacy_factor.words)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_bit_identical_across_backends(self, tensor, backend):
+        serial, serial_stages, _ = _dbtf_outcome(tensor, handles=True)
+        other, other_stages, _ = _dbtf_outcome(
+            tensor, handles=True, backend=backend
+        )
+        assert serial.error == other.error
+        assert serial.errors_per_iteration == other.errors_per_iteration
+        for serial_factor, other_factor in zip(serial.factors, other.factors):
+            assert np.array_equal(serial_factor.words, other_factor.words)
+        # Ledger byte totals are part of the backend-invariance contract.
+        assert serial_stages == other_stages
+
+    def test_handles_cut_task_bytes(self, tensor):
+        _, _, task_on = _dbtf_outcome(tensor, handles=True)
+        _, _, task_off = _dbtf_outcome(tensor, handles=False)
+        assert task_on < task_off
+
+
+class TestPerColumnByteDrop:
+    def test_at_least_5x_drop_at_rank8_dim128(self):
+        """The headline regression: rank 8, dim 128, >=5x per-column drop."""
+        rng = np.random.default_rng(0)
+        dense = (rng.random((128, 128, 128)) < 0.01).astype(np.uint8)
+        tensor = SparseBoolTensor.from_dense(dense)
+        config = DbtfConfig(rank=8, max_iterations=1, seed=3, n_partitions=4)
+        per_column = {}
+        for handles in (True, False):
+            cluster = ClusterConfig(handle_broadcasts=handles)
+            runtime = SimulatedRuntime(cluster)
+            try:
+                result = dbtf(tensor, config=config, runtime=runtime)
+                per_column[handles] = _per_column_bytes(
+                    dict(runtime.ledger.by_stage)
+                )
+                error = result.error
+            finally:
+                runtime.close()
+        ratio = per_column[False] / per_column[True]
+        assert ratio >= 5.0, (
+            f"per-column broadcast bytes dropped only {ratio:.2f}x "
+            f"({per_column[False]} -> {per_column[True]})"
+        )

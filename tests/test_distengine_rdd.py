@@ -172,7 +172,8 @@ class TestSimulatedTime:
         assert report.n_machines == 4
         assert report.simulated_time > 0
         assert report.network_bytes == (
-            report.shuffle_bytes + report.broadcast_bytes + report.collect_bytes
+            report.shuffle_bytes + report.broadcast_bytes
+            + report.collect_bytes + report.task_bytes
         )
 
     def test_reset(self, runtime):

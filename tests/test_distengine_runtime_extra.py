@@ -132,6 +132,7 @@ class TestResetRegression:
         base_network = (
             report.shuffle_bytes
             + report.collect_bytes
+            + report.task_bytes
             + report.broadcast_bytes // report.n_machines
         )
         assert counted == base_network
