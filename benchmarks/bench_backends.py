@@ -52,8 +52,9 @@ def _initial_factors(shape, rank):
 def _run_backend(name, tensor, args):
     """One measured prepare + factor-update sweep; returns times + fingerprint."""
     config = DbtfConfig(rank=args.rank, n_partitions=args.partitions)
-    runtime = SimulatedRuntime(DEFAULT_CLUSTER.with_backend(name, args.workers))
-    try:
+    with SimulatedRuntime(
+        DEFAULT_CLUSTER.with_backend(name, args.workers)
+    ) as runtime:
         started = time.perf_counter()
         mode_rdds = prepare_partitioned_unfoldings(
             tensor, args.partitions, runtime
@@ -86,8 +87,6 @@ def _run_backend(name, tensor, args):
             tuple(sorted(runtime.ledger.by_stage.items())),
         )
         copy_seconds = _copy_cost(mode_rdds) * len(runtime.stages)
-    finally:
-        runtime.close()
     return prepare_seconds, update_seconds, copy_seconds, fingerprint
 
 

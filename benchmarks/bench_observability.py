@@ -65,14 +65,11 @@ def _dbtf_run(tracing: bool) -> int:
         (12, 12, 12), rank=2, factor_density=0.3,
         rng=np.random.default_rng(5),
     )
-    runtime = SimulatedRuntime(
+    with SimulatedRuntime(
         ClusterConfig(n_machines=2, cores_per_machine=2, tracing=tracing)
-    )
-    try:
+    ) as runtime:
         result = dbtf(tensor, rank=2, max_iterations=2, n_partitions=3,
                       seed=0, runtime=runtime)
-    finally:
-        runtime.close()
     if tracing:
         assert len(runtime.tracer) > 0
     else:

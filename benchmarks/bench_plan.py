@@ -36,10 +36,9 @@ N_MACHINES = 4
 
 def _run(tensor, rank, max_iterations, n_partitions, eager):
     """One decomposition; returns (fingerprint, n_stages, simulated_s)."""
-    runtime = SimulatedRuntime(
+    with SimulatedRuntime(
         ClusterConfig(n_machines=N_MACHINES, cores_per_machine=2, eager=eager)
-    )
-    try:
+    ) as runtime:
         result = dbtf(tensor, rank=rank, max_iterations=max_iterations,
                       n_partitions=n_partitions, seed=0, runtime=runtime)
         # Task-payload bytes are excluded: fusion dispatches one composed
@@ -55,8 +54,6 @@ def _run(tensor, rank, max_iterations, n_partitions, eager):
         return fingerprint, result.report.n_stages, runtime.simulated_time(
             N_MACHINES
         )
-    finally:
-        runtime.close()
 
 
 def measure(dim: int, rank: int, n_partitions: int, iterations: int = 2):

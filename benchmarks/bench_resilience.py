@@ -76,8 +76,7 @@ def _dbtf_run(dim: int, checkpoint: CheckpointConfig | None):
     rng = np.random.default_rng(11)
     tensor, _ = planted_tensor((dim, dim, dim), rank=2, factor_density=0.3, rng=rng)
     tensor = add_additive_noise(tensor, 0.1, rng)
-    runtime = SimulatedRuntime(ClusterConfig(backend="serial"))
-    try:
+    with SimulatedRuntime(ClusterConfig(backend="serial")) as runtime:
         dbtf(
             tensor,
             rank=2,
@@ -87,27 +86,22 @@ def _dbtf_run(dim: int, checkpoint: CheckpointConfig | None):
             checkpoint=checkpoint,
             runtime=runtime,
         )
-    finally:
-        runtime.close()
     return runtime
 
 
 def _faulty_run(speculation: SpeculationConfig | None):
-    runtime = SimulatedRuntime(
+    with SimulatedRuntime(
         ClusterConfig(
             n_machines=4, cores_per_machine=2, backend="serial",
             speculation=speculation,
         ),
         fault_injector=FaultInjector(failure_rate=0.4, max_retries=10, seed=3),
         retry_policy=RetryPolicy(max_retries=10, seed=0),
-    )
-    try:
+    ) as runtime:
         data = runtime.parallelize(list(range(256)), n_partitions=16)
         data.map_partitions_with_index(
             lambda index, items: [sum(items)], name="work"
         ).collect()
-    finally:
-        runtime.close()
     return runtime
 
 

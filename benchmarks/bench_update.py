@@ -38,11 +38,10 @@ MIN_BYTE_DROP = 5.0
 
 def _run(tensor, rank, max_iterations, n_partitions, handles):
     """One decomposition; returns (fingerprint, per-column bytes, sim time)."""
-    runtime = SimulatedRuntime(
+    with SimulatedRuntime(
         ClusterConfig(n_machines=N_MACHINES, cores_per_machine=2, eager=True,
                       handle_broadcasts=handles)
-    )
-    try:
+    ) as runtime:
         result = dbtf(tensor, rank=rank, max_iterations=max_iterations,
                       n_partitions=n_partitions, seed=0, runtime=runtime)
         fingerprint = (
@@ -59,8 +58,6 @@ def _run(tensor, rank, max_iterations, n_partitions, handles):
         n_columns = rank * 3 * len(result.errors_per_iteration)
         return (fingerprint, sweep_bytes / n_columns,
                 runtime.simulated_time(N_MACHINES))
-    finally:
-        runtime.close()
 
 
 def measure(dim: int, rank: int, n_partitions: int, iterations: int,

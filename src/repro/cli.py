@@ -7,6 +7,10 @@ Four subcommands cover the library's day-to-day uses:
 * ``info`` — print a tensor file's shape, nonzero count, and density;
 * ``factorize`` — run DBTF / BCP_ALS / Walk'n'Merge / Boolean Tucker on a
   tensor file, print the summary, and optionally save the factors;
+* ``jobs`` — the multi-tenant service over a file spool: ``submit`` jobs
+  without a server, ``serve`` them under fair sharing with per-job
+  checkpoints (killing ``serve`` loses nothing), ``status``/``cancel``/
+  ``result`` at any time;
 * ``experiment`` — regenerate one of the paper's tables or figures.
 
 Examples::
@@ -112,9 +116,80 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--checkpoint-every", type=int, default=1,
                            metavar="K",
                            help="snapshot every K iterations (default 1)")
+    factorize.add_argument("--checkpoint-keep-last", type=int, default=2,
+                           metavar="N",
+                           help="newest snapshots retained per run "
+                                "(default 2)")
     factorize.add_argument("--resume", action="store_true",
                            help="resume from the newest intact snapshot in "
                                 "--checkpoint-dir before iterating")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="multi-tenant factorization jobs over a file spool"
+    )
+    jobs.add_argument("--spool", required=True, metavar="DIR",
+                      help="job spool directory (created on first use); "
+                           "specs, statuses, results, and checkpoints all "
+                           "live under it")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_submit = jobs_sub.add_parser(
+        "submit", help="spool one decomposition job"
+    )
+    jobs_submit.add_argument("tensor", help="input .tns path")
+    jobs_submit.add_argument("--tenant", required=True,
+                             help="tenant the job is billed to")
+    jobs_submit.add_argument("--method",
+                             choices=["dbtf", "nway-cp", "tucker"],
+                             default="dbtf")
+    jobs_submit.add_argument("--rank", type=int, default=10)
+    jobs_submit.add_argument("--core-shape", type=int, nargs=3, default=None,
+                             metavar=("R1", "R2", "R3"))
+    jobs_submit.add_argument("--max-iterations", type=int, default=10)
+    jobs_submit.add_argument("--initial-sets", type=int, default=1)
+    jobs_submit.add_argument("--seed", type=int, default=0)
+    jobs_submit.add_argument("--priority", type=int, default=0,
+                             help="larger runs earlier within the tenant "
+                                  "and may preempt lower-priority jobs")
+
+    jobs_status = jobs_sub.add_parser(
+        "status", help="print job statuses from the spool"
+    )
+    jobs_status.add_argument("job_id", nargs="?", default=None,
+                             help="one job id (default: every job)")
+
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="mark a job cancelled (the server honors it between "
+                       "iterations; checkpoints are kept)"
+    )
+    jobs_cancel.add_argument("job_id")
+
+    jobs_result = jobs_sub.add_parser(
+        "result", help="print a finished job's result summary"
+    )
+    jobs_result.add_argument("job_id")
+
+    jobs_serve = jobs_sub.add_parser(
+        "serve", help="run spooled jobs to completion (resumable: killing "
+                      "and re-running continues from checkpoints)"
+    )
+    jobs_serve.add_argument("--backend",
+                            choices=["serial", "thread", "process"],
+                            default="serial")
+    jobs_serve.add_argument("--workers", type=int, default=None)
+    jobs_serve.add_argument("--max-live", type=int, default=4,
+                            help="jobs holding runtimes concurrently")
+    jobs_serve.add_argument("--checkpoint-every", type=int, default=1)
+    jobs_serve.add_argument("--keep-last", type=int, default=2)
+    jobs_serve.add_argument("--weight", action="append", default=[],
+                            metavar="TENANT=W",
+                            help="fair-share weight override (repeatable)")
+    jobs_serve.add_argument("--max-steps", type=int, default=None,
+                            help="stop after N scheduler quanta even if "
+                                 "jobs remain (they resume on the next "
+                                 "serve)")
+    jobs_serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write per-tenant service metrics as JSONL")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -197,16 +272,19 @@ def _command_factorize(args: argparse.Namespace) -> int:
         checkpoint = CheckpointConfig(
             directory=args.checkpoint_dir,
             every=args.checkpoint_every,
+            keep_last=args.checkpoint_keep_last,
             resume=args.resume,
         )
 
     tensor = load_tensor(args.tensor)
     tracer = metrics = None
     if args.method == "dbtf":
+        from contextlib import nullcontext
+
         from .core import dbtf
         from .distengine import SimulatedRuntime
 
-        runtime = None
+        context = nullcontext()
         if observing:
             from .core import DbtfConfig
 
@@ -217,8 +295,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 tracing=True,
                 eager=args.eager,
             )
-            runtime = SimulatedRuntime(probe.resolved_cluster())
-        try:
+            context = SimulatedRuntime(probe.resolved_cluster())
+        with context as runtime:
             result = dbtf(
                 tensor,
                 rank=args.rank,
@@ -232,11 +310,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 checkpoint=checkpoint,
                 runtime=runtime,
             )
-        finally:
             if runtime is not None:
-                runtime.close()
-        if runtime is not None:
-            tracer, metrics = runtime.tracer, runtime.metrics
+                tracer, metrics = runtime.tracer, runtime.metrics
         print(f"method         : DBTF (simulated {result.report.n_machines} machines, "
               f"{args.backend} backend)")
         print(f"simulated time : {result.report.simulated_time:.2f} s")
@@ -331,6 +406,172 @@ def _command_factorize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_jobs(args: argparse.Namespace) -> int:
+    from .service import JobStore
+
+    store = JobStore(args.spool)
+    handlers = {
+        "submit": _jobs_submit,
+        "status": _jobs_status,
+        "cancel": _jobs_cancel,
+        "result": _jobs_result,
+        "serve": _jobs_serve,
+    }
+    return handlers[args.jobs_command](store, args)
+
+
+def _jobs_submit(store, args: argparse.Namespace) -> int:
+    from .service import JobSpec
+    from .tensor import load_tensor
+
+    spec = JobSpec(
+        tenant=args.tenant,
+        tensor=load_tensor(args.tensor),
+        method=args.method,
+        rank=args.rank,
+        core_shape=tuple(args.core_shape) if args.core_shape else None,
+        max_iterations=args.max_iterations,
+        n_initial_sets=args.initial_sets,
+        seed=args.seed,
+        priority=args.priority,
+    )
+    job_id = store.submit(spec, args.tensor)
+    print(job_id)
+    return 0
+
+
+def _jobs_status(store, args: argparse.Namespace) -> int:
+    job_ids = [args.job_id] if args.job_id else store.job_ids()
+    if not job_ids:
+        print("spool is empty")
+        return 0
+    print(f"{'job':<22} {'tenant':<12} {'method':<8} {'state':<10} "
+          f"{'iters':>5}  error")
+    for job_id in job_ids:
+        status = store.read_status(job_id)
+        if status is None:
+            spec = store.read_spec(job_id) or {}
+            state = "cancelled" if store.is_cancelled(job_id) else "spooled"
+            status = {"tenant": spec.get("tenant", "?"),
+                      "method": spec.get("method", "?"), "state": state,
+                      "iterations": 0, "error": None}
+        error = status["error"] if status["error"] is not None else "-"
+        print(f"{job_id:<22} {status['tenant']:<12} {status['method']:<8} "
+              f"{status['state']:<10} {status['iterations']:>5}  {error}")
+    return 0
+
+
+def _jobs_cancel(store, args: argparse.Namespace) -> int:
+    if store.read_status(args.job_id) is None and args.job_id not in store.job_ids():
+        print(f"unknown job {args.job_id}", file=sys.stderr)
+        return 2
+    store.mark_cancelled(args.job_id)
+    print(f"{args.job_id} marked cancelled")
+    return 0
+
+
+def _jobs_result(store, args: argparse.Namespace) -> int:
+    import json
+
+    summary = store.read_result(args.job_id)
+    if summary is None:
+        status = store.read_status(args.job_id)
+        state = status["state"] if status else "unknown"
+        print(f"no result for {args.job_id} (state: {state})", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _jobs_serve(store, args: argparse.Namespace) -> int:
+    from .distengine import DEFAULT_CLUSTER
+    from .service import FactorizationService, JobState, ServiceConfig, TenantQuota
+
+    quotas = {}
+    for override in args.weight:
+        tenant, _, weight = override.partition("=")
+        if not tenant or not weight:
+            print(f"--weight expects TENANT=W, got {override!r}", file=sys.stderr)
+            return 2
+        quotas[tenant] = TenantQuota(weight=float(weight))
+
+    pending = store.pending_ids()
+    if not pending:
+        print("nothing to do: no pending jobs in the spool")
+        return 0
+    config = ServiceConfig(
+        cluster=DEFAULT_CLUSTER.with_backend(args.backend, args.workers),
+        checkpoint_root=store.checkpoint_root,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
+        max_live_jobs=args.max_live,
+        quotas=quotas,
+    )
+    written: dict[str, tuple] = {}
+    with FactorizationService(config) as service:
+        for job_id in pending:
+            service.submit(store.load_spec(job_id))
+        print(f"serving {len(pending)} jobs ({args.backend} backend)")
+        steps = 0
+        while True:
+            for job_id in list(service.jobs):
+                job_status = service.status(job_id)
+                if not job_status.state.terminal and store.is_cancelled(job_id):
+                    service.cancel(job_id)
+            if not service.step():
+                break
+            steps += 1
+            _spool_progress(store, service, written)
+            if args.max_steps is not None and steps >= args.max_steps:
+                print(f"stopping after {steps} steps; unfinished jobs "
+                      f"resume on the next serve")
+                break
+        _spool_progress(store, service, written)
+        for job_id, job in service.jobs.items():
+            if job.state is JobState.DONE and store.read_result(job_id) is None:
+                store.write_result(job_id, _result_summary(job))
+        if args.metrics_out is not None:
+            from .observability import write_metrics_jsonl
+
+            write_metrics_jsonl(service.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        board = service.dashboard()
+    for tenant in sorted(board):
+        row = board[tenant]
+        print(f"{tenant}: done={row['done']} pending={row['pending']} "
+              f"failed={row['failed']} cancelled={row['cancelled']} "
+              f"iterations={row['iterations']}")
+    return 0
+
+
+def _spool_progress(store, service, written: dict) -> None:
+    """Write each job's status to the spool when it changed."""
+    for job_id in service.jobs:
+        status = service.status(job_id)
+        key = (status.state, status.iterations)
+        if written.get(job_id) != key:
+            store.write_status(status)
+            written[job_id] = key
+
+
+def _result_summary(job) -> dict:
+    result = job.result
+    summary = {
+        "job_id": job.job_id,
+        "tenant": job.tenant,
+        "method": job.spec.method,
+        "error": int(result.error),
+        "relative_error": float(result.relative_error),
+        "converged": bool(result.converged),
+        "iterations": job.iterations,
+    }
+    if hasattr(result, "errors_per_iteration"):
+        summary["errors_per_iteration"] = [
+            int(e) for e in result.errors_per_iteration
+        ]
+    return summary
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from . import experiments
 
@@ -374,6 +615,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _command_generate,
         "info": _command_info,
         "factorize": _command_factorize,
+        "jobs": _command_jobs,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -2,7 +2,7 @@
 
 from .cache import RowSummationCache, split_groups
 from .config import DbtfConfig
-from .decompose import dbtf, prepare_partitioned_unfoldings
+from .decompose import dbtf, dbtf_steps, prepare_partitioned_unfoldings
 from .partition import (
     Block,
     BlockType,
@@ -15,10 +15,14 @@ from .partition import (
     split_unfolding_coordinates,
 )
 from .result import DecompositionResult
+from .steps import StepEvent, drive
 from .update import CachedPartition, update_factor
 
 __all__ = [
     "dbtf",
+    "dbtf_steps",
+    "StepEvent",
+    "drive",
     "DbtfConfig",
     "DecompositionResult",
     "RowSummationCache",

@@ -9,6 +9,8 @@ initializations compete in the first iteration and only the best survives.
 
 from __future__ import annotations
 
+from typing import Generator
+
 import numpy as np
 
 from ..bitops import BitMatrix
@@ -27,9 +29,10 @@ from .partition import (
     split_unfolding_coordinates,
 )
 from .result import DecompositionResult
+from .steps import StepEvent, drive
 from .update import update_factor
 
-__all__ = ["dbtf", "prepare_partitioned_unfoldings"]
+__all__ = ["dbtf", "dbtf_steps", "prepare_partitioned_unfoldings"]
 
 Factors = tuple[BitMatrix, BitMatrix, BitMatrix]
 
@@ -233,8 +236,6 @@ def dbtf(
     DecompositionResult
         Factors, error trace, convergence flag, and the engine cost report.
     """
-    if tensor.ndim != 3:
-        raise ValueError(f"DBTF factorizes three-way tensors, got {tensor.ndim}-way")
     if config is None:
         if rank is None:
             raise ValueError("either rank or config must be provided")
@@ -244,7 +245,32 @@ def dbtf(
     owns_runtime = runtime is None
     if runtime is None:
         runtime = SimulatedRuntime(config.resolved_cluster())
+    try:
+        return drive(dbtf_steps(tensor, config, runtime))
+    finally:
+        # Only tear down worker pools we created — a caller-supplied
+        # runtime may still have stages to run (and metering to read).
+        if owns_runtime:
+            runtime.close()
 
+
+def dbtf_steps(
+    tensor: SparseBoolTensor,
+    config: DbtfConfig,
+    runtime: SimulatedRuntime,
+) -> Generator[StepEvent, None, DecompositionResult]:
+    """Cooperatively-stepped DBTF: one outer iteration per ``next()``.
+
+    Yields a :class:`~repro.core.steps.StepEvent` at every iteration
+    boundary, *after* that boundary's checkpoint (when configured) has hit
+    disk — so a consumer may stop between any two iterations (cancellation
+    via ``close()``) and a later run with ``checkpoint.resume=True``
+    continues bit-identically.  Draining the generator is exactly
+    :func:`dbtf`; the service layer instead interleaves many generators
+    over one shared worker pool.
+    """
+    if tensor.ndim != 3:
+        raise ValueError(f"DBTF factorizes three-way tensors, got {tensor.ndim}-way")
     manager = None
     if config.checkpoint is not None:
         manager = CheckpointManager(
@@ -303,6 +329,7 @@ def dbtf(
                 manager.save(
                     0, _dbtf_state(factors, errors, converged, rng, init_index)
                 )
+            yield StepEvent(0, errors[-1], converged, phase="init")
 
         threshold = config.tolerance * max(tensor.nnz, 1)
         for iteration in range(start_iteration, config.max_iterations):
@@ -320,17 +347,15 @@ def dbtf(
                     iteration,
                     _dbtf_state(factors, errors, converged, rng, init_index),
                 )
+            yield StepEvent(iteration, error, converged)
             if converged:
                 break
     finally:
         # Release the per-mode partition caches so a caller-supplied
-        # runtime does not accumulate persisted unfoldings across runs;
-        # then only tear down worker pools we created — a caller-supplied
-        # runtime may still have stages to run (and metering to read).
+        # runtime does not accumulate persisted unfoldings across runs —
+        # also the cancellation path: ``generator.close()`` lands here.
         for rdd in mode_rdds:
             rdd.unpersist()
-        if owns_runtime:
-            runtime.close()
 
     return DecompositionResult(
         factors=factors,

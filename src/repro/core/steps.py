@@ -1,0 +1,66 @@
+"""Cooperative stepping protocol shared by the three solvers.
+
+Each driver exposes a ``*_steps`` generator that runs the decomposition one
+*checkpointable unit* at a time and yields a :class:`StepEvent` at every
+boundary — after the snapshot for that boundary (if checkpointing is
+configured) has already hit disk.  The one-shot entry points (``dbtf``,
+``cp_nway``, ``boolean_tucker``) simply drain their generator, so the
+stepped and the monolithic paths are the same code and bit-identical.
+
+The protocol is what makes a multi-tenant job layer possible on top of
+batch solvers:
+
+* a scheduler can interleave iterations of many jobs by advancing one
+  generator at a time (cooperative multitasking, no threads required);
+* cancellation between iterations is ``generator.close()`` — the driver's
+  ``finally`` blocks release partition caches and nothing else runs;
+* preemption is cancellation plus a later rebuild with ``resume=True``:
+  because every yield happens *after* its checkpoint landed, a preempted
+  job loses no completed work and resumes bit-identically.
+
+The generator's return value (``StopIteration.value``) is the solver's
+usual result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StepEvent", "drive"]
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One completed checkpointable unit of a decomposition run.
+
+    Attributes
+    ----------
+    step:
+        The solver's snapshot step counter — the outer iteration for DBTF,
+        the restart index for N-way CP, ``restart * max_iterations +
+        iteration`` for Tucker.  Matches the checkpoint filename written at
+        this boundary.
+    error:
+        Reconstruction error after this unit (the solver's current best
+        where units are whole restarts).
+    converged:
+        Whether the stopping criterion has been met; the generator yields
+        this event and then finishes.
+    phase:
+        ``"init"`` for the initialization boundary, ``"iteration"`` or
+        ``"restart"`` afterwards.
+    """
+
+    step: int
+    error: int
+    converged: bool
+    phase: str = "iteration"
+
+
+def drive(generator):
+    """Run a step generator to completion and return its result value."""
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value

@@ -13,6 +13,7 @@ from .backends import (
 from .broadcast import Broadcast, BroadcastHandle
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
+from .lease import RuntimeFactory, RuntimeLease
 from .plan import FusedChainTask, LogicalPlan, PhysicalStage, PlanNode, PlanOptimizer
 from .rdd import Distributed
 from .runtime import ExecutionReport, SimulatedRuntime, StageReport
@@ -39,6 +40,8 @@ __all__ = [
     "PlanOptimizer",
     "PhysicalStage",
     "FusedChainTask",
+    "RuntimeFactory",
+    "RuntimeLease",
     "SimulatedRuntime",
     "StageReport",
     "ExecutionReport",

@@ -100,6 +100,7 @@ class SimulatedRuntime:
         metrics: "MetricsRegistry | None" = None,
         retry_policy: "RetryPolicy | None" = None,
         speculation: "SpeculationConfig | None" = None,
+        owns_backend: bool = True,
     ):
         self.config = config
         self.ledger = ShuffleLedger()
@@ -128,6 +129,11 @@ class SimulatedRuntime:
         self.backend = make_backend(
             backend if backend is not None else config.backend, config.n_workers
         )
+        # A runtime leased over a shared pool (see ``distengine.lease``)
+        # must not shut the pool down when the job finishes; only the pool
+        # owner closes it.
+        self._owns_backend = owns_backend
+        self._closed = False
         # Plan layer: node ids are handed out in creation order (so
         # ``explain()`` output is deterministic), persisted nodes are
         # tracked for eviction, and repeated broadcast payloads can be
@@ -146,9 +152,19 @@ class SimulatedRuntime:
         return self.config.eager
 
     def close(self) -> None:
-        """Evict every persist cache, then shut down the worker pool."""
+        """Evict every persist cache, then release execution resources.
+
+        The worker pool is shut down only when this runtime owns it; a
+        runtime leased over a shared backend releases all of its private
+        state (caches, broadcast spill files) and leaves the pool warm.
+        Idempotent, so leases and ``finally`` blocks may both call it.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.evict_all()
-        self.backend.close()
+        if self._owns_backend:
+            self.backend.close()
         if self._spill_dir is not None:
             shutil.rmtree(self._spill_dir, ignore_errors=True)
             self._spill_dir = None

@@ -194,12 +194,9 @@ def run_dbtf(
             cluster = cluster.with_tracing()
         if eager:
             cluster = cluster.with_eager()
-        runtime = SimulatedRuntime(cluster)
-        runtime_box.append(runtime)
-        try:
+        with SimulatedRuntime(cluster) as runtime:
+            runtime_box.append(runtime)
             return dbtf(tensor, rank=rank, runtime=runtime, **config_overrides)
-        finally:
-            runtime.close()
 
     result, elapsed, status = call_with_timeout(_run, timeout_sec)
     if status != STATUS_OK:

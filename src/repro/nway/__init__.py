@@ -1,5 +1,5 @@
 """N-way Boolean CP decomposition (general-order extension)."""
 
-from .cp import NwayCpConfig, NwayCpResult, cp_nway, nway_reconstruct
+from .cp import NwayCpConfig, NwayCpResult, cp_nway, cp_nway_steps, nway_reconstruct
 
-__all__ = ["cp_nway", "nway_reconstruct", "NwayCpConfig", "NwayCpResult"]
+__all__ = ["cp_nway", "cp_nway_steps", "nway_reconstruct", "NwayCpConfig", "NwayCpResult"]

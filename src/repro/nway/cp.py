@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 import numpy as np
 
 from ..bitops import BitMatrix, packing
+from ..core.steps import StepEvent, drive
 from ..distengine import DEFAULT_CLUSTER, SimulatedRuntime
 from ..distengine.backends import BACKEND_NAMES
 from ..resilience import CheckpointConfig, CheckpointManager, config_fingerprint
@@ -29,7 +30,13 @@ from ..tensor import SparseBoolTensor
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..observability import MetricsRegistry, Tracer
 
-__all__ = ["NwayCpConfig", "NwayCpResult", "cp_nway", "nway_reconstruct"]
+__all__ = [
+    "NwayCpConfig",
+    "NwayCpResult",
+    "cp_nway",
+    "cp_nway_steps",
+    "nway_reconstruct",
+]
 
 
 @dataclass(frozen=True)
@@ -249,21 +256,83 @@ def cp_nway(
             raise ValueError("either rank or config must be provided")
         config = NwayCpConfig(rank=rank)
 
+    if config.checkpoint is not None:
+        return drive(
+            cp_nway_steps(tensor, config, tracer=tracer, metrics=metrics)
+        )
+    candidates = _solve_restarts(
+        tensor, _packed_unfoldings(tensor), config, tracer=tracer,
+        metrics=metrics,
+    )
+    best: NwayCpResult | None = None
+    for candidate in candidates:
+        if best is None or candidate.error < best.error:
+            best = candidate
+    return best
+
+
+def _packed_unfoldings(tensor: SparseBoolTensor) -> list[np.ndarray]:
+    """Bit-packed mode-n unfoldings of a (dense-able) tensor."""
     dense = tensor.to_dense()
-    unfoldings = [
+    return [
         packing.pack_bits(
             np.moveaxis(dense, mode, 0).reshape(tensor.shape[mode], -1)
         )
         for mode in range(tensor.ndim)
     ]
 
+
+def cp_nway_steps(
+    tensor: SparseBoolTensor,
+    config: NwayCpConfig,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> "Generator[StepEvent, None, NwayCpResult]":
+    """Cooperatively-stepped N-way CP: one restart per ``next()``.
+
+    Restarts are this solver's checkpointable unit (see
+    :class:`NwayCpConfig`): the sweep runs sequentially, every completed
+    restart's candidate list is snapshotted when checkpointing is
+    configured, and a :class:`~repro.core.steps.StepEvent` is yielded after
+    each restart with the best error so far.  Draining the generator
+    matches :func:`cp_nway` with a checkpoint config bit-for-bit; each
+    restart still derives its generator from ``seed + restart``, so the
+    candidate set is identical to the parallel fan-out too.
+    """
+    if tensor.ndim < 2:
+        raise ValueError(f"cp_nway needs at least 2 modes, got {tensor.ndim}")
+    unfoldings = _packed_unfoldings(tensor)
+    manager = None
     if config.checkpoint is not None:
-        candidates = _solve_restarts_checkpointed(
-            tensor, unfoldings, config, tracer=tracer, metrics=metrics
+        manager = CheckpointManager(
+            config.checkpoint,
+            _nway_fingerprint(tensor, config),
+            metrics=metrics,
+            tracer=tracer,
         )
-    else:
-        candidates = _solve_restarts(
-            tensor, unfoldings, config, tracer=tracer, metrics=metrics
+    candidates: list[NwayCpResult] = []
+    start = 0
+    if manager is not None and config.checkpoint.resume:
+        loaded = manager.load_latest()
+        if loaded is not None:
+            step, state = loaded
+            candidates = list(state["candidates"])
+            start = step + 1
+    last = config.n_initial_sets - 1
+    for restart in range(start, config.n_initial_sets):
+        candidates.append(
+            _solve_once(
+                tensor, unfoldings, config,
+                np.random.default_rng(config.seed + restart),
+            )
+        )
+        if manager is not None and (manager.should_save(restart) or restart == last):
+            manager.save(restart, {"candidates": list(candidates)})
+        yield StepEvent(
+            restart,
+            min(candidate.error for candidate in candidates),
+            restart == last,
+            phase="restart",
         )
     best: NwayCpResult | None = None
     for candidate in candidates:
@@ -395,47 +464,6 @@ def _nway_fingerprint(tensor: SparseBoolTensor, config: NwayCpConfig) -> str:
             "nnz": tensor.nnz,
         }
     )
-
-
-def _solve_restarts_checkpointed(
-    tensor: SparseBoolTensor,
-    unfoldings: list[np.ndarray],
-    config: NwayCpConfig,
-    tracer: "Tracer | None" = None,
-    metrics: "MetricsRegistry | None" = None,
-) -> list["NwayCpResult"]:
-    """Sequential restart sweep persisting every completed candidate.
-
-    The snapshot at step ``r`` holds the candidates of restarts ``0..r``;
-    resuming re-solves only the restarts after the newest snapshot.  Each
-    restart still derives its generator from ``seed + restart``, so the
-    candidate list is bit-identical to an uninterrupted sweep.
-    """
-    manager = CheckpointManager(
-        config.checkpoint,
-        _nway_fingerprint(tensor, config),
-        metrics=metrics,
-        tracer=tracer,
-    )
-    candidates: list[NwayCpResult] = []
-    start = 0
-    if config.checkpoint.resume:
-        loaded = manager.load_latest()
-        if loaded is not None:
-            step, state = loaded
-            candidates = list(state["candidates"])
-            start = step + 1
-    last = config.n_initial_sets - 1
-    for restart in range(start, config.n_initial_sets):
-        candidates.append(
-            _solve_once(
-                tensor, unfoldings, config,
-                np.random.default_rng(config.seed + restart),
-            )
-        )
-        if manager.should_save(restart) or restart == last:
-            manager.save(restart, {"candidates": list(candidates)})
-    return candidates
 
 
 def _solve_once(

@@ -24,6 +24,7 @@ single thread-local read per call.
 """
 
 from .export import (
+    metrics_to_jsonl,
     read_jsonl,
     render_report,
     structural_tree,
@@ -31,6 +32,7 @@ from .export import (
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_metrics_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
@@ -63,6 +65,8 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "metrics_to_jsonl",
+    "write_metrics_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_report",

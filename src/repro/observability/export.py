@@ -30,6 +30,8 @@ __all__ = [
     "structural_tree",
     "to_jsonl",
     "write_jsonl",
+    "metrics_to_jsonl",
+    "write_metrics_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_report",
@@ -106,6 +108,40 @@ def read_jsonl(path: str) -> list[SpanRecord]:
                 )
             )
     return spans
+
+
+def metrics_to_jsonl(metrics: "MetricsRegistry") -> str:
+    """One JSON object per metric instrument, sorted by (name, labels).
+
+    Counters and gauges serialize their value; histograms serialize the
+    full snapshot (count/sum/min/max/buckets plus the derived p50/p99), so
+    a scraper gets per-tenant latency quantiles without re-bucketing.
+    Bucket bounds become string keys (JSON objects cannot key on floats).
+    """
+    lines = []
+    for name, label_key, kind, value in metrics.collect():
+        row: dict[str, Any] = {
+            "name": name,
+            "labels": dict(label_key),
+            "kind": kind,
+        }
+        if kind == "histogram":
+            snapshot = dict(value)
+            snapshot["buckets"] = {
+                str(bound): count
+                for bound, count in snapshot["buckets"].items()
+            }
+            row["snapshot"] = snapshot
+        else:
+            row["value"] = value
+        lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines)
+
+
+def write_metrics_jsonl(metrics: "MetricsRegistry", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_jsonl(metrics))
+        handle.write("\n")
 
 
 # ----------------------------------------------------------------------

@@ -112,6 +112,36 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def quantile(self, q: float) -> "float | None":
+        """Bucket-interpolated quantile estimate (``None`` when empty).
+
+        Standard histogram-quantile estimation: find the bucket where the
+        cumulative count crosses ``q * count`` and interpolate linearly
+        inside it.  The estimate is exact at bucket bounds and clamped to
+        the observed ``[min, max]``, so single-observation histograms and
+        overflow-bucket quantiles stay honest instead of reporting a
+        bucket bound nothing ever hit.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if bucket_count == 0:
+                    estimate = bound
+                else:
+                    within = target - (cumulative - bucket_count)
+                    estimate = lower + (bound - lower) * within / bucket_count
+                return max(self.min, min(self.max, estimate))
+            lower = bound
+        # Overflow bucket: no upper bound to interpolate against.
+        return self.max
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -120,6 +150,8 @@ class Histogram:
             "max": self.max,
             "buckets": dict(zip(self.buckets, self.counts)),
             "overflow": self.counts[-1],
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -1,0 +1,37 @@
+"""Factorization-as-a-service: multi-tenant jobs over the solver stack.
+
+The layers, bottom-up:
+
+* :mod:`.job` — :class:`JobSpec` (immutable request, deterministic id) and
+  :class:`Job` (the service's mutable record of one spec in flight);
+* :mod:`.queue` — :class:`JobQueue` with per-tenant admission control
+  (:class:`TenantQuota`);
+* :mod:`.scheduler` — :class:`FairShareScheduler`, weighted virtual-time
+  fair queueing with priority preemption at checkpoint boundaries;
+* :mod:`.service` — :class:`FactorizationService`, the
+  submit/status/cancel/result API stepping every admitted job's solver
+  generator over one shared worker pool;
+* :mod:`.store` — :class:`JobStore`, the file spool behind the ``jobs``
+  CLI (daemon-free submit/status/cancel, resumable ``serve``).
+"""
+
+from .job import METHODS, Job, JobSpec, JobState, JobStatus
+from .queue import AdmissionError, JobQueue, TenantQuota
+from .scheduler import FairShareScheduler
+from .service import FactorizationService, ServiceConfig
+from .store import JobStore
+
+__all__ = [
+    "METHODS",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "AdmissionError",
+    "JobQueue",
+    "TenantQuota",
+    "FairShareScheduler",
+    "FactorizationService",
+    "ServiceConfig",
+    "JobStore",
+]

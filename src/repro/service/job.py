@@ -1,0 +1,226 @@
+"""Jobs: what a tenant submits and how the service tracks it.
+
+A :class:`JobSpec` is the immutable description of one decomposition
+request — tenant, method, input tensor, hyper-parameters, priority.  Its
+job id is *deterministic*: a :func:`~repro.distengine.shuffle.stable_hash`
+over the fields that define the work (tenant, method, tensor content,
+rank/core shape, iteration budget, restarts, seed).  Determinism is what
+makes resume-on-resubmit work with no extra bookkeeping: resubmitting the
+same spec after a service crash lands on the same job id, therefore the
+same per-job checkpoint directory, therefore the run continues where it
+died.  It also makes submission idempotent — the same request submitted
+twice is one job, not two.
+
+Priority is deliberately *excluded* from the id: re-submitting the same
+work more urgently should bump the existing job, not fork a sibling.
+
+A :class:`Job` is the service's mutable record of a spec in flight:
+lifecycle state, scheduling bookkeeping (submission sequence, iterations
+charged), the live step generator and runtime lease while RUNNING, and the
+solver result once DONE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..distengine.shuffle import stable_hash
+from ..tensor import SparseBoolTensor
+
+__all__ = ["JobState", "JobSpec", "Job", "JobStatus", "METHODS"]
+
+METHODS = ("dbtf", "nway-cp", "tucker")
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a job inside the service.
+
+    ``PENDING → RUNNING → DONE`` is the happy path; ``RUNNING → PENDING``
+    is preemption (the job keeps its checkpoints and resumes later);
+    ``CANCELLED`` and ``FAILED`` are terminal.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's decomposition request.
+
+    Attributes
+    ----------
+    tenant:
+        Billing/fair-share identity; quota and scheduling are per tenant.
+    method:
+        ``"dbtf"`` (three-way CP on the distributed engine), ``"nway-cp"``,
+        or ``"tucker"``.
+    tensor:
+        The binary input tensor.
+    rank:
+        Components R (``dbtf``/``nway-cp``; the default cubic core size
+        for ``tucker`` when ``core_shape`` is not given).
+    core_shape:
+        Tucker core sizes; ignored by the CP methods.
+    max_iterations / n_initial_sets / seed:
+        Passed through to the solver config.
+    priority:
+        Larger runs earlier *within* a tenant and wins preemption contests
+        across tenants; does not change the job id.
+    """
+
+    tenant: str
+    tensor: SparseBoolTensor
+    method: str = "dbtf"
+    rank: int = 8
+    core_shape: "tuple[int, int, int] | None" = None
+    max_iterations: int = 10
+    n_initial_sets: int = 1
+    seed: int = 0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.method not in METHODS:
+            raise ValueError(
+                f"method must be one of {METHODS}, got {self.method!r}"
+            )
+        if self.rank <= 0:
+            raise ValueError(f"rank must be positive, got {self.rank}")
+        if self.max_iterations <= 0:
+            raise ValueError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.n_initial_sets <= 0:
+            raise ValueError(
+                f"n_initial_sets must be positive, got {self.n_initial_sets}"
+            )
+
+    @property
+    def job_id(self) -> str:
+        """Deterministic id over the work-defining fields.
+
+        The tensor participates through its shape and coordinate content,
+        so two tenants submitting equal hyper-parameters on different data
+        never collide, while a byte-identical resubmission always lands on
+        the same id (and thus the same checkpoint directory).
+        """
+        fingerprint = stable_hash(
+            (
+                "job",
+                self.tenant,
+                self.method,
+                list(self.tensor.shape),
+                self.tensor.coords,
+                self.rank,
+                list(self.core_shape) if self.core_shape else None,
+                self.max_iterations,
+                self.n_initial_sets,
+                self.seed,
+            )
+        )
+        return f"job-{fingerprint:016x}"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time snapshot of a job, safe to hand to API callers."""
+
+    job_id: str
+    tenant: str
+    method: str
+    state: JobState
+    priority: int
+    iterations: int
+    preemptions: int
+    error: "int | None"
+    converged: bool
+    message: "str | None" = None
+
+
+class Job:
+    """The service's mutable record of one submitted spec."""
+
+    __slots__ = (
+        "spec", "job_id", "state", "seq", "iterations", "preemptions",
+        "last_error", "converged", "message", "result", "checkpoint_dir",
+        "lease", "generator", "submitted_at", "finished_at",
+        "checkpoint_every", "last_step",
+    )
+
+    def __init__(self, spec: JobSpec, seq: int):
+        self.spec = spec
+        self.job_id = spec.job_id
+        self.state = JobState.PENDING
+        #: Global submission sequence number — the FIFO tie-breaker.
+        self.seq = seq
+        self.iterations = 0
+        self.preemptions = 0
+        self.last_error: "int | None" = None
+        self.converged = False
+        self.message: "str | None" = None
+        self.result: Any = None
+        self.checkpoint_dir: "str | None" = None
+        #: Live execution state while RUNNING (scheduler-owned).
+        self.lease = None
+        self.generator = None
+        self.submitted_at: "float | None" = None
+        self.finished_at: "float | None" = None
+        self.checkpoint_every = 1
+        self.last_step: "int | None" = None
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def live(self) -> bool:
+        """Whether a step generator (and possibly a lease) is attached."""
+        return self.generator is not None
+
+    @property
+    def at_checkpoint_boundary(self) -> bool:
+        """Whether the last completed step was snapshotted to disk.
+
+        Preemption is only safe here: the job will be torn down and later
+        rebuilt from its newest checkpoint, so any work past the last
+        snapshot would be silently redone (correct but wasteful) — the
+        scheduler therefore refuses to preempt between snapshots.
+        """
+        if self.last_step is None:
+            return False
+        return self.converged or self.last_step % self.checkpoint_every == 0
+
+    def snapshot(self) -> JobStatus:
+        return JobStatus(
+            job_id=self.job_id,
+            tenant=self.tenant,
+            method=self.spec.method,
+            state=self.state,
+            priority=self.priority,
+            iterations=self.iterations,
+            preemptions=self.preemptions,
+            error=self.last_error,
+            converged=self.converged,
+            message=self.message,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id}, tenant={self.tenant!r}, "
+            f"state={self.state.value}, iterations={self.iterations})"
+        )

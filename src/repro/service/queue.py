@@ -1,0 +1,156 @@
+"""Admission control and the pending-job queue.
+
+The queue is the service's front door: it decides whether a submission is
+*admitted* (per-tenant and global pending caps) and keeps the pending jobs
+ordered the way the scheduler consumes them — within a tenant by
+``(-priority, submission sequence)``, so urgent work jumps the tenant's own
+line but tenants cannot jump each other's (cross-tenant ordering belongs to
+the fair-share scheduler, not the queue).
+
+Everything here is deterministic: admission depends only on counts, and the
+head-of-line job per tenant is a pure function of the queue contents —
+no wall clock, no iteration order over unordered sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .job import Job
+
+__all__ = ["TenantQuota", "AdmissionError", "JobQueue"]
+
+
+class AdmissionError(RuntimeError):
+    """A submission was refused by quota; resubmit after the queue drains."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits and fair-share weight.
+
+    Attributes
+    ----------
+    max_pending:
+        Most jobs a tenant may have waiting in the queue; submissions past
+        this raise :class:`AdmissionError` (back-pressure, not silent
+        dropping).
+    max_running:
+        Most of a tenant's jobs that may hold live runtimes at once.
+    weight:
+        Fair-share weight: a tenant with weight 2 receives twice the
+        iteration throughput of a tenant with weight 1 under contention.
+    """
+
+    max_pending: int = 64
+    max_running: int = 4
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_running < 1:
+            raise ValueError(f"max_running must be >= 1, got {self.max_running}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+class JobQueue:
+    """Pending jobs, partitioned by tenant, under admission control."""
+
+    def __init__(
+        self,
+        default_quota: TenantQuota = TenantQuota(),
+        quotas: "dict[str, TenantQuota] | None" = None,
+        max_pending_total: "int | None" = None,
+    ):
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+        self.max_pending_total = max_pending_total
+        self._pending: dict[str, list[Job]] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Admit one pending job or raise :class:`AdmissionError`."""
+        quota = self.quota_for(job.tenant)
+        backlog = self._pending.setdefault(job.tenant, [])
+        if len(backlog) >= quota.max_pending:
+            raise AdmissionError(
+                f"tenant {job.tenant!r} has {len(backlog)} pending jobs "
+                f"(quota {quota.max_pending}); retry after the queue drains"
+            )
+        if (
+            self.max_pending_total is not None
+            and self.total_depth() >= self.max_pending_total
+        ):
+            raise AdmissionError(
+                f"service queue is full ({self.max_pending_total} pending "
+                f"jobs); retry after the queue drains"
+            )
+        self.requeue(job)
+
+    def requeue(self, job: Job) -> None:
+        """Re-enter a job without admission checks (preemption path).
+
+        A preempted job was already admitted once; bouncing it on quota
+        while it holds completed work would lose the job entirely.  It
+        keeps its original sequence number, so it keeps its place in its
+        tenant's line rather than going to the back.
+        """
+        backlog = self._pending.setdefault(job.tenant, [])
+        backlog.append(job)
+        # Stable sort: priority first, then submission order.
+        backlog.sort(key=lambda item: (-item.priority, item.seq))
+
+    def remove(self, job: Job) -> bool:
+        """Drop one job from its tenant's backlog (cancellation path)."""
+        backlog = self._pending.get(job.tenant, [])
+        if job in backlog:
+            backlog.remove(job)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def head(self, tenant: str) -> "Job | None":
+        """The tenant's next job without removing it."""
+        backlog = self._pending.get(tenant, [])
+        return backlog[0] if backlog else None
+
+    def pop(self, tenant: str) -> Job:
+        """Remove and return the tenant's next job."""
+        return self._pending[tenant].pop(0)
+
+    def heads(self) -> "dict[str, Job]":
+        """Head-of-line job per tenant with a non-empty backlog."""
+        return {
+            tenant: backlog[0]
+            for tenant, backlog in sorted(self._pending.items())
+            if backlog
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self, tenant: str) -> int:
+        return len(self._pending.get(tenant, []))
+
+    def total_depth(self) -> int:
+        return sum(len(backlog) for backlog in self._pending.values())
+
+    def tenants(self) -> list[str]:
+        """Every tenant that ever had a backlog, sorted for determinism."""
+        return sorted(self._pending)
+
+    def __len__(self) -> int:
+        return self.total_depth()
+
+    def __repr__(self) -> str:
+        depths = {t: len(b) for t, b in sorted(self._pending.items()) if b}
+        return f"JobQueue(pending={depths})"

@@ -1,0 +1,189 @@
+"""File-spool job store backing the ``jobs`` CLI.
+
+The CLI has no daemon: ``jobs submit`` must work before any server
+exists, and ``jobs status`` must work after the server died.  The store
+is therefore a directory, not a process —
+
+.. code-block:: text
+
+    <spool>/
+        specs/<job_id>.json        what was submitted (tensor by path)
+        state/<job_id>.json        last observed JobStatus
+        results/<job_id>.json      summary once DONE (+ factor files)
+        cancel/<job_id>            cancellation marker (empty file)
+        checkpoints/<job_id>/      the job's snapshot directory
+
+``jobs serve`` is the only command that runs solvers: it loads every
+non-terminal spec, replays it into a :class:`~.service.FactorizationService`
+rooted at ``checkpoints/``, and steps the service while honoring cancel
+markers.  Because job ids are deterministic and checkpoints live under
+the spool, killing ``serve`` loses nothing — the next ``serve`` resumes
+every interrupted job from its newest snapshot, bit-identically.
+
+Writes are atomic (temp file + rename) so a reader never sees a torn
+JSON file, and the spool survives concurrent ``status``/``cancel`` calls
+while ``serve`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..tensor import load_tensor
+from .job import JobSpec, JobState, JobStatus
+
+__all__ = ["JobStore"]
+
+
+def _atomic_write_json(path: Path, payload: "dict[str, Any]") -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class JobStore:
+    """One job spool rooted at a directory."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        for sub in ("specs", "state", "results", "cancel", "checkpoints"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    @property
+    def checkpoint_root(self) -> Path:
+        return self.root / "checkpoints"
+
+    # ------------------------------------------------------------------
+    # Specs
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, tensor_path: "str | Path") -> str:
+        """Spool one spec; returns its deterministic job id.
+
+        Resubmitting an identical spec overwrites the same file — the
+        spool, like the service, is idempotent on job id.  A resubmission
+        also clears any stale cancel marker, so "cancel then resubmit"
+        resumes the job instead of instantly re-cancelling it.
+        """
+        job_id = spec.job_id
+        payload = {
+            "job_id": job_id,
+            "tenant": spec.tenant,
+            "method": spec.method,
+            "tensor": str(Path(tensor_path).resolve()),
+            "rank": spec.rank,
+            "core_shape": list(spec.core_shape) if spec.core_shape else None,
+            "max_iterations": spec.max_iterations,
+            "n_initial_sets": spec.n_initial_sets,
+            "seed": spec.seed,
+            "priority": spec.priority,
+        }
+        _atomic_write_json(self.root / "specs" / f"{job_id}.json", payload)
+        marker = self.root / "cancel" / job_id
+        if marker.exists():
+            marker.unlink()
+        return job_id
+
+    def read_spec(self, job_id: str) -> "dict[str, Any] | None":
+        """The raw spooled spec payload (no tensor load)."""
+        return self._read_json("specs", job_id)
+
+    def load_spec(self, job_id: str) -> JobSpec:
+        """Rebuild the JobSpec (loading its tensor) from the spool."""
+        payload = self._read_json("specs", job_id)
+        if payload is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        spec = JobSpec(
+            tenant=payload["tenant"],
+            tensor=load_tensor(payload["tensor"]),
+            method=payload["method"],
+            rank=payload["rank"],
+            core_shape=(
+                tuple(payload["core_shape"]) if payload["core_shape"] else None
+            ),
+            max_iterations=payload["max_iterations"],
+            n_initial_sets=payload["n_initial_sets"],
+            seed=payload["seed"],
+            priority=payload["priority"],
+        )
+        if spec.job_id != job_id:
+            raise ValueError(
+                f"spool entry {job_id} rebuilds to {spec.job_id}: the tensor "
+                f"file changed since submission"
+            )
+        return spec
+
+    def job_ids(self) -> "list[str]":
+        return sorted(
+            path.stem for path in (self.root / "specs").glob("job-*.json")
+        )
+
+    def pending_ids(self) -> "list[str]":
+        """Jobs a server should (re)run: not DONE, not cancelled.
+
+        FAILED jobs are retried on the next serve — their checkpoints make
+        the retry cheap, and a transient failure (OOM, kill) should not
+        wedge the spool.
+        """
+        out = []
+        for job_id in self.job_ids():
+            if self.is_cancelled(job_id):
+                continue
+            status = self.read_status(job_id)
+            if status is not None and status.get("state") == JobState.DONE.value:
+                continue
+            out.append(job_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # Status / results / cancellation
+    # ------------------------------------------------------------------
+    def write_status(self, status: JobStatus) -> None:
+        payload = {
+            "job_id": status.job_id,
+            "tenant": status.tenant,
+            "method": status.method,
+            "state": status.state.value,
+            "priority": status.priority,
+            "iterations": status.iterations,
+            "preemptions": status.preemptions,
+            "error": status.error,
+            "converged": status.converged,
+            "message": status.message,
+        }
+        _atomic_write_json(self.root / "state" / f"{status.job_id}.json", payload)
+
+    def read_status(self, job_id: str) -> "dict[str, Any] | None":
+        return self._read_json("state", job_id)
+
+    def write_result(self, job_id: str, summary: "dict[str, Any]") -> None:
+        _atomic_write_json(self.root / "results" / f"{job_id}.json", summary)
+
+    def read_result(self, job_id: str) -> "dict[str, Any] | None":
+        return self._read_json("results", job_id)
+
+    def mark_cancelled(self, job_id: str) -> None:
+        (self.root / "cancel" / job_id).touch()
+
+    def is_cancelled(self, job_id: str) -> bool:
+        return (self.root / "cancel" / job_id).exists()
+
+    def _read_json(self, kind: str, job_id: str) -> "dict[str, Any] | None":
+        path = self.root / kind / f"{job_id}.json"
+        if not path.exists():
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def __repr__(self) -> str:
+        return f"JobStore({str(self.root)!r}, jobs={len(self.job_ids())})"

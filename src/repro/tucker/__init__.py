@@ -4,12 +4,14 @@ from .decompose import (
     BooleanTuckerConfig,
     BooleanTuckerResult,
     boolean_tucker,
+    boolean_tucker_steps,
     tucker_reconstruct,
 )
 from .distributed import dbtf_tucker, update_tucker_factor
 
 __all__ = [
     "boolean_tucker",
+    "boolean_tucker_steps",
     "dbtf_tucker",
     "update_tucker_factor",
     "tucker_reconstruct",

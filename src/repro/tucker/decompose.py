@@ -26,14 +26,22 @@ algorithm) and works on dense Boolean arrays at laptop scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Generator
 
 import numpy as np
 
 from ..bitops import BitMatrix
+from ..core.steps import StepEvent, drive
 from ..resilience import CheckpointConfig, CheckpointManager, config_fingerprint
 from ..tensor import SparseBoolTensor
 
-__all__ = ["BooleanTuckerConfig", "BooleanTuckerResult", "boolean_tucker", "tucker_reconstruct"]
+__all__ = [
+    "BooleanTuckerConfig",
+    "BooleanTuckerResult",
+    "boolean_tucker",
+    "boolean_tucker_steps",
+    "tucker_reconstruct",
+]
 
 
 @dataclass(frozen=True)
@@ -274,14 +282,30 @@ def boolean_tucker(
     BooleanTuckerResult
         Binary core, binary factors, and the error trace.
     """
-    if tensor.ndim != 3:
-        raise ValueError(
-            f"Boolean Tucker factorizes three-way tensors, got {tensor.ndim}-way"
-        )
     if config is None:
         if core_shape is None:
             raise ValueError("either core_shape or config must be provided")
         config = BooleanTuckerConfig(core_shape=core_shape)
+    return drive(boolean_tucker_steps(tensor, config))
+
+
+def boolean_tucker_steps(
+    tensor: SparseBoolTensor,
+    config: BooleanTuckerConfig,
+) -> Generator[StepEvent, None, BooleanTuckerResult]:
+    """Cooperatively-stepped Boolean Tucker: one iteration per ``next()``.
+
+    Yields a :class:`~repro.core.steps.StepEvent` after every alternating
+    iteration of every restart — the solver's checkpoint boundary, with the
+    step encoded as ``restart * max_iterations + iteration`` exactly like
+    the snapshot filenames — so a consumer may cancel mid-restart and a
+    resumed run continues bit-identically.  Draining the generator is
+    :func:`boolean_tucker`.
+    """
+    if tensor.ndim != 3:
+        raise ValueError(
+            f"Boolean Tucker factorizes three-way tensors, got {tensor.ndim}-way"
+        )
 
     manager = None
     if config.checkpoint is not None:
@@ -305,9 +329,21 @@ def boolean_tucker(
         save_fn = None
         if manager is not None:
             save_fn = _make_tucker_saver(manager, config, restart, best)
-        candidate = _solve_once(
+        solver = _solve_steps(
             tensor, dense, config, rng, save_fn=save_fn, resume=resume_state
         )
+        candidate = None
+        while candidate is None:
+            try:
+                iteration, error, restart_converged = next(solver)
+            except StopIteration as stop:
+                candidate = stop.value
+                break
+            yield StepEvent(
+                restart * config.max_iterations + iteration,
+                error,
+                restart_converged,
+            )
         resume_state = None
         if best is None or candidate.error < best.error:
             best = candidate
@@ -342,7 +378,7 @@ def _make_tucker_saver(
     restart: int,
     best: "BooleanTuckerResult | None",
 ):
-    """Bind one restart's snapshot writer for :func:`_solve_once`."""
+    """Bind one restart's snapshot writer for :func:`_solve_steps`."""
 
     def save(iteration, core, factors, errors, converged):
         if not (manager.should_save(iteration) or converged):
@@ -363,15 +399,18 @@ def _make_tucker_saver(
     return save
 
 
-def _solve_once(
+def _solve_steps(
     tensor: SparseBoolTensor,
     dense: np.ndarray,
     config: BooleanTuckerConfig,
     rng: np.random.Generator,
     save_fn=None,
     resume: "dict | None" = None,
-) -> BooleanTuckerResult:
+) -> "Generator[tuple[int, int, bool], None, BooleanTuckerResult]":
     """One alternating-minimization run from one initialization.
+
+    Yields ``(iteration, error, converged)`` after each iteration — after
+    ``save_fn`` has snapshotted it — and returns the restart's result.
 
     ``resume`` is a checkpoint state for *this* restart: initialization is
     skipped (its rng draws already happened before the snapshot) and the
@@ -434,6 +473,7 @@ def _solve_once(
         errors.append(error)
         if save_fn is not None:
             save_fn(iteration, core, factors, errors, converged)
+        yield iteration, error, converged
         if converged:
             break
 

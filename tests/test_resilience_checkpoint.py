@@ -217,3 +217,86 @@ class TestRetention:
         assert counters["checkpoints_pruned_total"] == 2
         assert counters["checkpoint_resumes_total"] == 1
         assert counters["checkpoint_bytes_total"] > 0
+
+
+class TestSiblingJobIsolation:
+    """Two jobs sharing one checkpoint root must never cross-contaminate.
+
+    The service layer puts every job in ``<root>/<job_id>/``; these tests
+    pin that sibling directories are fully independent — retention,
+    fingerprint refusal, and corrupt-file fallback all stop at the
+    directory boundary.
+    """
+
+    def managers(self, tmp_path, **config):
+        job_a = make_manager(tmp_path / "job-a", fingerprint="fp-a", **config)
+        job_b = make_manager(tmp_path / "job-b", fingerprint="fp-b", **config)
+        return job_a, job_b
+
+    def test_retention_prunes_per_job(self, tmp_path):
+        job_a, job_b = self.managers(tmp_path, keep_last=2)
+        for step in range(5):
+            job_a.save(step, {"job": "a", "s": step})
+        job_b.save(0, {"job": "b", "s": 0})
+        # Pruning in a's directory left b's lone (older-numbered equal)
+        # snapshot alone, and vice versa.
+        assert [step for step, _ in job_a.checkpoints()] == [3, 4]
+        assert [step for step, _ in job_b.checkpoints()] == [0]
+        for step in range(5):
+            job_b.save(step + 1, {"job": "b", "s": step + 1})
+        assert [step for step, _ in job_a.checkpoints()] == [3, 4]
+
+    def test_fingerprint_refusal_is_per_job(self, tmp_path):
+        job_a, job_b = self.managers(tmp_path)
+        job_a.save(1, {"job": "a"})
+        job_b.save(1, {"job": "b"})
+        # Job a's config changed: its resume refuses.  Job b's does not.
+        stale_a = make_manager(tmp_path / "job-a", fingerprint="fp-a-v2")
+        with pytest.raises(CheckpointMismatchError):
+            stale_a.load_latest()
+        step, state = job_b.load_latest()
+        assert (step, state) == (1, {"job": "b"})
+
+    def test_corrupt_fallback_stays_in_job_directory(self, tmp_path):
+        job_a, job_b = self.managers(tmp_path, keep_last=3)
+        job_a.save(1, {"job": "a", "s": 1})
+        job_a.save(2, {"job": "a", "s": 2})
+        job_b.save(3, {"job": "b", "s": 3})
+        # Corrupt a's newest snapshot: fallback must land on a's step 1,
+        # never on b's (newer) step 3.
+        newest = job_a.path_for(2)
+        with open(newest, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[-1] ^= 0xFF
+            handle.seek(0)
+            handle.write(bytes(data))
+        with pytest.warns(RuntimeWarning, match="integrity"):
+            step, state = job_a.load_latest()
+        assert (step, state) == (1, {"job": "a", "s": 1})
+        step, state = job_b.load_latest()
+        assert (step, state) == (3, {"job": "b", "s": 3})
+
+    def test_service_layout_uses_sibling_dirs(self, tmp_path):
+        import numpy as np
+
+        from repro.service import FactorizationService, JobSpec, ServiceConfig
+        from repro.tensor import planted_tensor
+
+        tensor, _ = planted_tensor(
+            (8, 8, 8), rank=2, factor_density=0.3,
+            rng=np.random.default_rng(0),
+        )
+        root = tmp_path / "root"
+        config = ServiceConfig(checkpoint_root=root, keep_last=1)
+        with FactorizationService(config) as service:
+            one = service.submit(
+                JobSpec(tenant="a", tensor=tensor, rank=2, max_iterations=2)
+            ).job_id
+            two = service.submit(
+                JobSpec(tenant="b", tensor=tensor, rank=2, max_iterations=2,
+                        seed=5)
+            ).job_id
+            service.drain()
+        for job_id in (one, two):
+            snapshots = list((root / job_id).glob("checkpoint-*.ckpt"))
+            assert len(snapshots) == 1  # keep_last honored per job

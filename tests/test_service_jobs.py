@@ -1,0 +1,322 @@
+"""FactorizationService behavior: identity, fairness, cancel, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.distengine import DEFAULT_CLUSTER
+from repro.service import (
+    AdmissionError,
+    FactorizationService,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    TenantQuota,
+)
+from repro.tensor import SparseBoolTensor, planted_tensor
+
+
+def make_tensor(seed=0, dim=10):
+    tensor, _ = planted_tensor(
+        (dim, dim, dim), rank=3, factor_density=0.3,
+        rng=np.random.default_rng(seed),
+    )
+    return tensor
+
+
+def make_spec(tenant="acme", seed=0, **kwargs):
+    kwargs.setdefault("rank", 3)
+    kwargs.setdefault("max_iterations", 3)
+    return JobSpec(tenant=tenant, tensor=make_tensor(), seed=seed, **kwargs)
+
+
+class TestJobSpec:
+    def test_deterministic_id(self):
+        assert make_spec().job_id == make_spec().job_id
+
+    def test_id_depends_on_work_fields(self):
+        base = make_spec()
+        assert base.job_id != make_spec(tenant="other").job_id
+        assert base.job_id != make_spec(seed=1).job_id
+        assert base.job_id != make_spec(rank=4).job_id
+        assert base.job_id != make_spec(method="tucker").job_id
+
+    def test_id_depends_on_tensor_content(self):
+        spec_a = make_spec()
+        spec_b = JobSpec(tenant="acme", tensor=make_tensor(seed=9), rank=3,
+                         max_iterations=3)
+        assert spec_a.job_id != spec_b.job_id
+
+    def test_id_ignores_priority(self):
+        assert make_spec().job_id == make_spec(priority=7).job_id
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenant": ""},
+            {"method": "als"},
+            {"rank": 0},
+            {"max_iterations": 0},
+            {"n_initial_sets": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(tenant="a", tensor=make_tensor())
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            JobSpec(**base)
+
+
+class TestSubmit:
+    def test_submit_is_idempotent(self):
+        with FactorizationService() as service:
+            first = service.submit(make_spec())
+            second = service.submit(make_spec())
+            assert first.job_id == second.job_id
+            assert len(service.jobs) == 1
+
+    def test_resubmit_bumps_priority(self):
+        with FactorizationService() as service:
+            service.submit(make_spec(priority=0))
+            bumped = service.submit(make_spec(priority=5))
+            assert bumped.priority == 5
+
+    def test_admission_error_propagates(self):
+        config = ServiceConfig(default_quota=TenantQuota(max_pending=1))
+        with FactorizationService(config) as service:
+            service.submit(make_spec(seed=0))
+            with pytest.raises(AdmissionError):
+                service.submit(make_spec(seed=1))
+            # The refused job left no record behind.
+            assert len(service.jobs) == 1
+
+    def test_submit_after_done_returns_cached(self):
+        with FactorizationService() as service:
+            job_id = service.submit(make_spec()).job_id
+            service.drain()
+            again = service.submit(make_spec())
+            assert again.job_id == job_id
+            assert again.state is JobState.DONE
+
+
+class TestDrain:
+    def test_all_methods_complete(self):
+        tensor = make_tensor()
+        with FactorizationService() as service:
+            for method in ("dbtf", "nway-cp", "tucker"):
+                service.submit(JobSpec(tenant="a", tensor=tensor,
+                                       method=method, rank=3,
+                                       max_iterations=2))
+            statuses = service.drain()
+        assert [s.state for s in statuses] == [JobState.DONE] * 3
+        assert all(s.error is not None for s in statuses)
+
+    def test_results_match_direct_solver(self):
+        from repro.core import dbtf
+
+        tensor = make_tensor()
+        direct = dbtf(tensor, rank=3, max_iterations=3, seed=0)
+        with FactorizationService() as service:
+            job_id = service.submit(
+                JobSpec(tenant="a", tensor=tensor, rank=3, max_iterations=3)
+            ).job_id
+            service.drain()
+            result = service.result(job_id)
+        assert result.error == direct.error
+        assert result.errors_per_iteration == direct.errors_per_iteration
+        for mine, theirs in zip(result.factors, direct.factors):
+            assert np.array_equal(mine.words, theirs.words)
+
+    def test_fair_share_interleaves_tenants(self):
+        config = ServiceConfig(max_live_jobs=4)
+        with FactorizationService(config) as service:
+            for tenant in ("a", "b"):
+                for seed in range(2):
+                    service.submit(make_spec(tenant=tenant, seed=seed))
+            service.drain()
+            vtimes = service.scheduler.snapshot()
+        assert vtimes["a"] == vtimes["b"]
+
+    def test_no_leases_leak(self):
+        with FactorizationService() as service:
+            for seed in range(3):
+                service.submit(make_spec(seed=seed))
+            service.drain()
+            assert service.factory.open_leases == 0
+
+    def test_result_before_done_raises(self):
+        with FactorizationService() as service:
+            job_id = service.submit(make_spec()).job_id
+            with pytest.raises(RuntimeError):
+                service.result(job_id)
+
+    def test_unknown_job_raises(self):
+        with FactorizationService() as service:
+            with pytest.raises(KeyError):
+                service.status("job-0000000000000000")
+
+
+class TestCancel:
+    def test_cancel_pending(self):
+        config = ServiceConfig(max_live_jobs=1)
+        with FactorizationService(config) as service:
+            running = service.submit(make_spec(seed=0)).job_id
+            waiting = service.submit(make_spec(seed=1)).job_id
+            service.step()  # activates the first job only
+            status = service.cancel(waiting)
+            assert status.state is JobState.CANCELLED
+            assert service.queue.total_depth() == 0
+            statuses = {s.job_id: s for s in service.drain()}
+            assert statuses[running].state is JobState.DONE
+            assert statuses[waiting].state is JobState.CANCELLED
+
+    def test_cancel_running_frees_capacity(self):
+        config = ServiceConfig(max_live_jobs=1)
+        with FactorizationService(config) as service:
+            first = service.submit(make_spec(seed=0)).job_id
+            second = service.submit(make_spec(seed=1)).job_id
+            service.step()
+            assert service.status(first).state is JobState.RUNNING
+            service.cancel(first)
+            assert service.factory.open_leases == 0
+            service.step()
+            assert service.status(second).state is JobState.RUNNING
+            statuses = {s.job_id: s for s in service.drain()}
+            assert statuses[second].state is JobState.DONE
+
+    def test_cancel_terminal_is_noop(self):
+        with FactorizationService() as service:
+            job_id = service.submit(make_spec()).job_id
+            service.drain()
+            assert service.cancel(job_id).state is JobState.DONE
+
+
+class TestFailureIsolation:
+    def test_bad_job_fails_alone(self):
+        # A 4-way tensor is invalid for dbtf; the sibling job must finish.
+        bad_tensor = SparseBoolTensor.empty((2, 2, 2, 2))
+        with FactorizationService() as service:
+            bad = service.submit(
+                JobSpec(tenant="a", tensor=bad_tensor, rank=2,
+                        max_iterations=2)
+            ).job_id
+            good = service.submit(make_spec(tenant="b")).job_id
+            statuses = {s.job_id: s for s in service.drain()}
+        assert statuses[bad].state is JobState.FAILED
+        assert "three-way" in statuses[bad].message
+        assert statuses[good].state is JobState.DONE
+
+    def test_failed_lease_released(self):
+        bad_tensor = SparseBoolTensor.empty((2, 2, 2, 2))
+        with FactorizationService() as service:
+            service.submit(JobSpec(tenant="a", tensor=bad_tensor, rank=2,
+                                   max_iterations=2))
+            service.drain()
+            assert service.factory.open_leases == 0
+
+
+class TestPreemption:
+    def test_high_priority_preempts_at_boundary(self):
+        config = ServiceConfig(max_live_jobs=1)
+        with FactorizationService(config) as service:
+            low = service.submit(make_spec(tenant="bg", seed=0)).job_id
+            service.step()  # activate low, run one step (checkpointed)
+            service.step()
+            high = service.submit(
+                make_spec(tenant="urgent", seed=1, priority=5)
+            ).job_id
+            service.step()
+            assert service.status(high).state is JobState.RUNNING
+            assert service.status(low).state is JobState.PENDING
+            assert service.status(low).preemptions == 1
+            statuses = {s.job_id: s for s in service.drain()}
+            assert statuses[low].state is JobState.DONE
+            assert statuses[high].state is JobState.DONE
+
+    def test_preempted_resumes_from_checkpoint(self):
+        from repro.core import dbtf
+
+        tensor = make_tensor()
+        config = ServiceConfig(max_live_jobs=1)
+        with FactorizationService(config) as service:
+            low = service.submit(
+                JobSpec(tenant="bg", tensor=tensor, rank=3, max_iterations=4)
+            ).job_id
+            service.step()
+            service.step()
+            service.submit(make_spec(tenant="urgent", seed=1, priority=5))
+            statuses = {s.job_id: s for s in service.drain()}
+            assert statuses[low].state is JobState.DONE
+            result = service.result(low)
+        direct = dbtf(tensor, rank=3, max_iterations=4, seed=0)
+        assert result.error == direct.error
+        for mine, theirs in zip(result.factors, direct.factors):
+            assert np.array_equal(mine.words, theirs.words)
+
+
+class TestMetrics:
+    def test_per_tenant_accounting(self):
+        with FactorizationService() as service:
+            service.submit(make_spec(tenant="a", seed=0))
+            service.submit(make_spec(tenant="b", seed=1))
+            service.drain()
+            metrics = service.metrics
+            assert metrics.value("service_jobs_completed_total", tenant="a") == 1
+            assert metrics.value("service_jobs_completed_total", tenant="b") == 1
+            assert metrics.value("tenant_shuffle_bytes_total", tenant="a") > 0
+            latency = metrics.histogram(
+                "job_latency_seconds", tenant="a"
+            )
+            assert latency.count == 1
+            assert latency.quantile(0.5) is not None
+            assert latency.quantile(0.99) >= latency.quantile(0.5)
+
+    def test_gauges_track_queue_and_running(self):
+        config = ServiceConfig(max_live_jobs=1)
+        with FactorizationService(config) as service:
+            service.submit(make_spec(seed=0))
+            service.submit(make_spec(seed=1))
+            service.step()
+            assert service.metrics.value(
+                "service_queue_depth", tenant="acme"
+            ) == 1
+            assert service.metrics.value(
+                "service_running_jobs", tenant="acme"
+            ) == 1
+            service.drain()
+            assert service.metrics.value(
+                "service_queue_depth", tenant="acme"
+            ) == 0
+
+    def test_metrics_jsonl_export(self):
+        import json
+
+        from repro.observability import metrics_to_jsonl
+
+        with FactorizationService() as service:
+            service.submit(make_spec())
+            service.drain()
+            lines = metrics_to_jsonl(service.metrics).splitlines()
+        rows = [json.loads(line) for line in lines]
+        names = {row["name"] for row in rows}
+        assert "service_jobs_completed_total" in names
+        assert "job_latency_seconds" in names
+        latency = next(r for r in rows if r["name"] == "job_latency_seconds")
+        assert latency["snapshot"]["p50"] is not None
+
+
+class TestClose:
+    def test_close_releases_live_jobs(self):
+        config = ServiceConfig(max_live_jobs=2)
+        service = FactorizationService(config)
+        service.submit(make_spec(seed=0))
+        service.submit(make_spec(seed=1))
+        service.step()
+        service.close()
+        assert service.factory.open_leases == 0
+        with pytest.raises(RuntimeError):
+            service.step()
+
+    def test_close_is_idempotent(self):
+        service = FactorizationService()
+        service.close()
+        service.close()

@@ -1,0 +1,201 @@
+"""Admission control and fair-share scheduling (no solvers involved)."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    FairShareScheduler,
+    Job,
+    JobQueue,
+    JobSpec,
+    TenantQuota,
+)
+from repro.tensor import SparseBoolTensor
+
+
+def make_tensor(seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((4, 4, 4)) < 0.3
+    return SparseBoolTensor.from_dense(dense)
+
+
+def make_job(tenant, seq, seed=0, priority=0):
+    spec = JobSpec(tenant=tenant, tensor=make_tensor(), seed=seed,
+                   priority=priority)
+    return Job(spec, seq=seq)
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.max_pending >= 1
+        assert quota.max_running >= 1
+        assert quota.weight == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_pending": 0},
+            {"max_running": 0},
+            {"weight": 0.0},
+            {"weight": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestJobQueue:
+    def test_per_tenant_admission(self):
+        queue = JobQueue(default_quota=TenantQuota(max_pending=2))
+        queue.submit(make_job("a", 1, seed=1))
+        queue.submit(make_job("a", 2, seed=2))
+        with pytest.raises(AdmissionError):
+            queue.submit(make_job("a", 3, seed=3))
+        # Another tenant is unaffected by a's full backlog.
+        queue.submit(make_job("b", 4, seed=4))
+        assert queue.depth("a") == 2
+        assert queue.depth("b") == 1
+
+    def test_global_cap(self):
+        queue = JobQueue(max_pending_total=2)
+        queue.submit(make_job("a", 1, seed=1))
+        queue.submit(make_job("b", 2, seed=2))
+        with pytest.raises(AdmissionError):
+            queue.submit(make_job("c", 3, seed=3))
+
+    def test_quota_override_per_tenant(self):
+        queue = JobQueue(
+            default_quota=TenantQuota(max_pending=1),
+            quotas={"vip": TenantQuota(max_pending=3)},
+        )
+        for seed in range(3):
+            queue.submit(make_job("vip", seed + 1, seed=seed))
+        with pytest.raises(AdmissionError):
+            queue.submit(make_job("vip", 4, seed=3))
+        queue.submit(make_job("other", 5, seed=0))
+        with pytest.raises(AdmissionError):
+            queue.submit(make_job("other", 6, seed=1))
+
+    def test_priority_orders_within_tenant(self):
+        queue = JobQueue()
+        low = make_job("a", 1, seed=1, priority=0)
+        high = make_job("a", 2, seed=2, priority=5)
+        queue.submit(low)
+        queue.submit(high)
+        assert queue.head("a") is high
+        assert queue.pop("a") is high
+        assert queue.pop("a") is low
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        first = make_job("a", 1, seed=1)
+        second = make_job("a", 2, seed=2)
+        queue.submit(second)
+        queue.submit(first)
+        assert queue.pop("a") is first
+
+    def test_requeue_bypasses_quota_and_keeps_place(self):
+        queue = JobQueue(default_quota=TenantQuota(max_pending=1))
+        preempted = make_job("a", 1, seed=1)
+        waiting = make_job("a", 2, seed=2)
+        queue.submit(waiting)
+        # submit() would refuse (quota 1); requeue must not.
+        queue.requeue(preempted)
+        assert queue.depth("a") == 2
+        # Original seq puts the preempted job back at the head.
+        assert queue.pop("a") is preempted
+
+    def test_remove(self):
+        queue = JobQueue()
+        job = make_job("a", 1)
+        queue.submit(job)
+        assert queue.remove(job) is True
+        assert queue.remove(job) is False
+        assert queue.depth("a") == 0
+
+    def test_heads_sorted_by_tenant(self):
+        queue = JobQueue()
+        queue.submit(make_job("b", 1, seed=1))
+        queue.submit(make_job("a", 2, seed=2))
+        assert list(queue.heads()) == ["a", "b"]
+
+
+class TestFairShareScheduler:
+    def scheduler(self, weights=None):
+        weights = weights or {}
+        return FairShareScheduler(
+            lambda tenant: TenantQuota(weight=weights.get(tenant, 1.0))
+        )
+
+    def test_equal_weights_round_robin(self):
+        sched = self.scheduler()
+        jobs = {t: make_job(t, i + 1) for i, t in enumerate("abc")}
+        picked = []
+        for _ in range(6):
+            job = sched.pick(jobs)
+            picked.append(job.tenant)
+            sched.charge(job.tenant)
+        assert picked == ["a", "b", "c", "a", "b", "c"]
+
+    def test_weighted_share(self):
+        sched = self.scheduler({"heavy": 2.0, "light": 1.0})
+        jobs = {t: make_job(t, i + 1) for i, t in enumerate(["heavy", "light"])}
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(30):
+            job = sched.pick(jobs)
+            counts[job.tenant] += 1
+            sched.charge(job.tenant)
+        assert counts["heavy"] == 2 * counts["light"]
+
+    def test_late_joiner_lifted_to_floor(self):
+        sched = self.scheduler()
+        for _ in range(100):
+            sched.charge("incumbent")
+        job_new = make_job("newcomer", 1)
+        job_old = make_job("incumbent", 2)
+        picked = []
+        for _ in range(4):
+            job = sched.pick({"incumbent": job_old, "newcomer": job_new})
+            picked.append(job.tenant)
+            sched.charge(job.tenant)
+        # The newcomer starts at the incumbent's vtime, not at zero — it
+        # wins the first tie-broken quantum but cannot starve.
+        assert picked.count("incumbent") >= 1
+        assert picked.count("newcomer") >= 1
+
+    def test_preference_priority_then_seq(self):
+        jobs = [
+            make_job("a", 3, seed=1, priority=0),
+            make_job("a", 1, seed=2, priority=2),
+            make_job("a", 2, seed=3, priority=2),
+        ]
+        best = FairShareScheduler.preference(jobs)
+        assert best is jobs[1]
+
+    def test_victim_requires_strictly_higher_priority(self):
+        sched = self.scheduler()
+        live = make_job("a", 1, priority=1)
+        live.last_step = 2  # at a boundary with checkpoint_every=1
+        candidate_equal = make_job("b", 2, seed=1, priority=1)
+        candidate_higher = make_job("b", 3, seed=2, priority=2)
+        assert sched.victim([live], candidate_equal) is None
+        assert sched.victim([live], candidate_higher) is live
+
+    def test_victim_only_at_checkpoint_boundary(self):
+        sched = self.scheduler()
+        live = make_job("a", 1, priority=0)
+        live.checkpoint_every = 2
+        live.last_step = 3  # mid-interval: not snapshotted
+        candidate = make_job("b", 2, seed=1, priority=5)
+        assert sched.victim([live], candidate) is None
+        live.last_step = 4
+        assert sched.victim([live], candidate) is live
+
+    def test_deterministic_tie_break(self):
+        sched_one = self.scheduler()
+        sched_two = self.scheduler()
+        jobs = {t: make_job(t, i + 1) for i, t in enumerate("ba")}
+        assert sched_one.pick(jobs).tenant == sched_two.pick(jobs).tenant == "a"
