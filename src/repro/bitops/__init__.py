@@ -1,7 +1,28 @@
-"""Bit-packed Boolean linear algebra (the reproduction's low-level kernel)."""
+"""Bit-packed Boolean linear algebra (the reproduction's low-level kernel).
 
+Public kernels (:func:`boolean_matmul`, :func:`khatri_rao`,
+:func:`pointwise_vector_matrix`, :func:`xor_popcount`,
+:func:`xor_popcount_rows`) route through the kernel-dispatch tier in
+:mod:`repro.bitops.dispatch`, which picks a registered implementation per
+call shape (heuristic, autotuned, or forced — see ``configure_kernels``).
+"""
+
+from ._numba import HAS_NUMBA
 from .bitmatrix import BitMatrix
-from .ops import boolean_matmul, khatri_rao, or_accumulate_table, pointwise_vector_matrix
+from .dispatch import (
+    KernelDispatcher,
+    configure as configure_kernels,
+    get_dispatcher,
+    reset_dispatcher,
+)
+from .ops import (
+    boolean_matmul,
+    khatri_rao,
+    or_accumulate_table,
+    pointwise_vector_matrix,
+    xor_popcount,
+    xor_popcount_rows,
+)
 from .packing import (
     WORD_BITS,
     indices_from_mask,
@@ -18,10 +39,17 @@ from .packing import (
 __all__ = [
     "BitMatrix",
     "WORD_BITS",
+    "HAS_NUMBA",
+    "KernelDispatcher",
     "boolean_matmul",
     "khatri_rao",
     "or_accumulate_table",
     "pointwise_vector_matrix",
+    "xor_popcount",
+    "xor_popcount_rows",
+    "configure_kernels",
+    "get_dispatcher",
+    "reset_dispatcher",
     "pack_bits",
     "unpack_bits",
     "packed_zeros",

@@ -1,0 +1,115 @@
+"""Optional Numba-compiled kernels for the hottest packed-bit loops.
+
+Import-guarded: when Numba is absent (`HAS_NUMBA` is False) nothing in
+here is compiled and the pure-python/numpy tier in :mod:`repro.bitops.ops`
+is the only one registered — the system never *requires* a compiler.
+When Numba is present, :mod:`repro.bitops.ops` registers the adapters
+below as the ``"numba"`` implementation of ``boolean_matmul`` and the
+``xor_popcount`` family, where they compete in autotuning like any other
+implementation and are pinned bit-identical by the differential harness
+(``tests/test_bitops_differential.py``, skip-if-unavailable).
+
+Compilation happens lazily on first call (standard ``@njit`` behavior),
+so importing this module stays cheap even with Numba installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAS_NUMBA = True
+except Exception:  # pragma: no cover - the default path in CI
+    HAS_NUMBA = False
+
+__all__ = [
+    "HAS_NUMBA",
+    "boolean_matmul_words",
+    "xor_popcount_words",
+    "xor_popcount_rows_words",
+]
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True, nogil=True)
+    def _matmul_or_kernel(left_words, right_words, out):
+        n_rows, n_left_words = left_words.shape
+        n_out_words = out.shape[1]
+        for row in range(n_rows):
+            for word_index in range(n_left_words):
+                word = left_words[row, word_index]
+                base = word_index * 64
+                bit = 0
+                while word != np.uint64(0):
+                    if word & np.uint64(1):
+                        shared = base + bit
+                        for out_word in range(n_out_words):
+                            out[row, out_word] |= right_words[shared, out_word]
+                    word >>= np.uint64(1)
+                    bit += 1
+
+    @njit(cache=True, nogil=True)
+    def _xor_popcount_flat(a, b, sums):
+        # SWAR popcount per 64-bit word; wrap-around multiply is intended.
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        n_rows, n_words = a.shape
+        for row in range(n_rows):
+            total = np.int64(0)
+            for word_index in range(n_words):
+                x = a[row, word_index] ^ b[row, word_index]
+                x = x - ((x >> np.uint64(1)) & m1)
+                x = (x & m2) + ((x >> np.uint64(2)) & m2)
+                x = (x + (x >> np.uint64(4))) & m4
+                total += np.int64((x * h01) >> np.uint64(56))
+            sums[row] = total
+
+    def _as_flat_pair(a, b):
+        """Broadcast, then flatten all leading axes into rows."""
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        n_words = shape[-1] if shape else 0
+        flat_a = np.ascontiguousarray(np.broadcast_to(a, shape)).reshape(-1, n_words)
+        flat_b = np.ascontiguousarray(np.broadcast_to(b, shape)).reshape(-1, n_words)
+        return shape, flat_a, flat_b
+
+    def boolean_matmul_words(left_words, right_words, n_out_words):
+        """Compiled OR-accumulate product over packed word arrays."""
+        out = np.zeros((left_words.shape[0], n_out_words), dtype=np.uint64)
+        if left_words.size and right_words.size and n_out_words:
+            _matmul_or_kernel(
+                np.ascontiguousarray(left_words),
+                np.ascontiguousarray(right_words),
+                out,
+            )
+        return out
+
+    def xor_popcount_rows_words(a, b):
+        """Compiled per-row Hamming distance (sum over the last axis)."""
+        shape, flat_a, flat_b = _as_flat_pair(a, b)
+        sums = np.zeros(flat_a.shape[0], dtype=np.int64)
+        if flat_a.size:
+            _xor_popcount_flat(flat_a, flat_b, sums)
+        return sums.reshape(shape[:-1])
+
+    def xor_popcount_words(a, b):
+        """Compiled total Hamming distance between packed arrays."""
+        return int(xor_popcount_rows_words(a, b).sum())
+
+else:
+
+    def boolean_matmul_words(left_words, right_words, n_out_words):
+        """Unavailable without Numba; never registered in this case."""
+        raise RuntimeError("numba is not available")
+
+    def xor_popcount_rows_words(a, b):
+        """Unavailable without Numba; never registered in this case."""
+        raise RuntimeError("numba is not available")
+
+    def xor_popcount_words(a, b):
+        """Unavailable without Numba; never registered in this case."""
+        raise RuntimeError("numba is not available")

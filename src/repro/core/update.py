@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitops import BitMatrix, packing
+from ..bitops.ops import xor_popcount_rows
 from ..distengine import Distributed, SimulatedRuntime
 from ..observability.trace import kernel_span
 from .cache import RowSummationCache
@@ -105,7 +106,7 @@ class CachedPartition:
             anded = masks_if_zero[:, None, :] & full_outer[None, :, :]
             keys = self.cache.group_keys(anded)
             rec_zero = self.cache.fetch(self.cache.full_tables, keys)
-            error_if_zero += packing.xor_popcount_rows(
+            error_if_zero += xor_popcount_rows(
                 rec_zero, self.full_words
             ).sum(axis=1)
             # Setting the entry to 1 adds component c's coverage, which in
@@ -125,7 +126,7 @@ class CachedPartition:
             anded = masks_if_zero & outer_words[block.pvm_index]
             keys = self.cache.group_keys(anded)
             rec_zero = self.cache.fetch(tables, keys)
-            error_if_zero += packing.xor_popcount_rows(rec_zero, tensor_words)
+            error_if_zero += xor_popcount_rows(rec_zero, tensor_words)
             if outer_column[block.pvm_index]:
                 sliced = packing.slice_bits(
                     inner_column_words[None, :], block.start, block.stop
@@ -137,11 +138,16 @@ class CachedPartition:
 
 
 def _masks_with_bit_cleared(words: np.ndarray, column: int) -> np.ndarray:
-    """Packed row masks with bit ``column`` forced to 0."""
+    """Packed row masks with bit ``column`` forced to 0.
+
+    One fused broadcast AND instead of copy-then-clear: the keep-mask is
+    all-ones except the cleared bit's word, so every output word is written
+    exactly once.
+    """
     word_index, offset = divmod(column, packing.WORD_BITS)
-    masks = words.copy()
-    masks[:, word_index] &= ~np.uint64(1 << offset)
-    return masks
+    keep = np.full(words.shape[1], ~np.uint64(0), dtype=np.uint64)
+    keep[word_index] = ~np.uint64(1 << offset)
+    return words & keep
 
 
 class _BuildCachedPartition:

@@ -85,6 +85,19 @@ class ClusterConfig:
         either way; only the metered task-payload bytes differ.  ``False``
         restores the legacy closure-capture path for A/B measurement
         (``benchmarks/bench_update.py``).
+    kernel_tier:
+        Kernel-dispatch tier applied process-wide when the runtime is
+        built (see :mod:`repro.bitops.dispatch`): ``"fixed"`` (heuristics
+        with configurable thresholds, the default behavior), ``"auto"``
+        (autotuned per shape-class with a persistent cache),
+        ``"reference"`` (always the loop-form reference), or a registered
+        implementation name to force it.  ``None`` (the default) leaves
+        the process configuration — environment variables or an earlier
+        ``configure_kernels`` call — untouched.
+    autotune_cache:
+        Path of the autotune cache file (or directory) used by the
+        ``"auto"`` tier and for threshold overrides.  ``None`` keeps the
+        current process configuration.
     """
 
     n_machines: int = 16
@@ -99,6 +112,8 @@ class ClusterConfig:
     eager: bool = False
     dedup_broadcasts: bool = False
     handle_broadcasts: bool = True
+    kernel_tier: str | None = None
+    autotune_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -119,6 +134,8 @@ class ClusterConfig:
             )
         if self.n_workers is not None and self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        if self.kernel_tier is not None and not self.kernel_tier:
+            raise ValueError("kernel_tier must be a non-empty string or None")
 
     @property
     def total_slots(self) -> int:
@@ -156,6 +173,14 @@ class ClusterConfig:
     def with_handle_broadcasts(self, handles: bool = True) -> "ClusterConfig":
         """The same cluster with the broadcast-handle hot path toggled."""
         return replace(self, handle_broadcasts=handles)
+
+    def with_kernel_tier(
+        self, kernel_tier: str | None, autotune_cache: str | None = None
+    ) -> "ClusterConfig":
+        """The same cluster with a kernel-dispatch tier (and cache) set."""
+        return replace(
+            self, kernel_tier=kernel_tier, autotune_cache=autotune_cache
+        )
 
 
 DEFAULT_CLUSTER = ClusterConfig()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitops import BitMatrix, packing
+from ..bitops.ops import xor_popcount
 from ..core.cache import RowSummationCache
 from ..tensor import PackedUnfolding, SparseBoolTensor, tensor_from_factors, unfold
 
@@ -54,7 +55,7 @@ def fast_reconstruction_error(
         anded = a_matrix.words & c_matrix.words[k]
         keys = cache.group_keys(anded)
         reconstructed = cache.fetch(tables, keys)  # (I, words)
-        error += packing.xor_popcount(reconstructed, packed.words[:, k, :])
+        error += xor_popcount(reconstructed, packed.words[:, k, :])
     return error
 
 

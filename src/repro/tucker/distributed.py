@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitops import BitMatrix, boolean_matmul, packing
+from ..bitops.ops import xor_popcount_rows
 from ..core.cache import RowSummationCache
 from ..observability.trace import kernel_span
 from ..core.decompose import prepare_partitioned_unfoldings
@@ -126,7 +127,7 @@ class TuckerCachedPartition:
             if keys is None:
                 keys = cache.group_keys(masks_if_zero)
             rec_zero = cache.fetch(tables, keys)
-            error_if_zero += packing.xor_popcount_rows(rec_zero, tensor_words)
+            error_if_zero += xor_popcount_rows(rec_zero, tensor_words)
             addition = coverage_sliced[column]
             newly = addition[None, :] & ~rec_zero
             delta_if_one += packing.popcount_rows(newly)
