@@ -131,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--resume", action="store_true",
                            help="resume from the newest intact snapshot in "
                                 "--checkpoint-dir before iterating")
+    factorize.add_argument("--memory-budget", default=None, metavar="SIZE",
+                           help="byte ceiling for driver-resident partition "
+                                "caches, e.g. 64M or 2G (dbtf only); caches "
+                                "beyond it spill to disk and page back in, "
+                                "results are bit-identical")
+    factorize.add_argument("--spill-dir", default=None, metavar="DIR",
+                           help="parent directory for --memory-budget spill "
+                                "files (default: system temp dir)")
 
     jobs = subparsers.add_parser(
         "jobs", help="multi-tenant factorization jobs over a file spool"
@@ -198,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "serve)")
     jobs_serve.add_argument("--metrics-out", default=None, metavar="PATH",
                             help="write per-tenant service metrics as JSONL")
+    jobs_serve.add_argument("--memory-budget", default=None, metavar="SIZE",
+                            help="per-job byte ceiling for driver-resident "
+                                 "partition caches, e.g. 64M; spill files "
+                                 "live under each job's checkpoint root and "
+                                 "are removed when the job finishes")
     jobs_serve.add_argument("--kernel-tier", default=None, metavar="TIER",
                             help="kernel-dispatch tier for every served job "
                                  "(fixed/auto/reference/<impl>)")
@@ -292,6 +305,26 @@ def _command_factorize(args: argparse.Namespace) -> int:
             resume=args.resume,
         )
 
+    memory_budget = None
+    if args.memory_budget is not None:
+        if args.method != "dbtf":
+            print(
+                f"--memory-budget is only supported for dbtf, "
+                f"not {args.method}",
+                file=sys.stderr,
+            )
+            return 2
+        from .storage import parse_memory_size
+
+        try:
+            memory_budget = parse_memory_size(args.memory_budget)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.spill_dir is not None and memory_budget is None:
+        print("--spill-dir requires --memory-budget", file=sys.stderr)
+        return 2
+
     tensor = load_tensor(args.tensor)
     tracer = metrics = None
     if args.method == "dbtf":
@@ -310,6 +343,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 n_workers=args.workers,
                 tracing=True,
                 eager=args.eager,
+                memory_budget=memory_budget,
+                spill_dir=args.spill_dir,
             )
             context = SimulatedRuntime(probe.resolved_cluster())
         with context as runtime:
@@ -324,6 +359,8 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 n_workers=args.workers,
                 eager=args.eager,
                 checkpoint=checkpoint,
+                memory_budget=memory_budget,
+                spill_dir=args.spill_dir,
                 runtime=runtime,
             )
             if runtime is not None:
@@ -331,6 +368,9 @@ def _command_factorize(args: argparse.Namespace) -> int:
         print(f"method         : DBTF (simulated {result.report.n_machines} machines, "
               f"{args.backend} backend)")
         print(f"simulated time : {result.report.simulated_time:.2f} s")
+        if memory_budget is not None:
+            print(f"spill I/O      : {result.report.spill_bytes} bytes "
+                  f"(budget {memory_budget} bytes)")
     elif args.method == "bcp-als":
         from .baselines import bcp_als
 
@@ -528,12 +568,24 @@ def _jobs_serve(store, args: argparse.Namespace) -> int:
             return 2
         quotas[tenant] = TenantQuota(weight=float(weight))
 
+    cluster = DEFAULT_CLUSTER.with_backend(args.backend, args.workers)
+    if args.memory_budget is not None:
+        from .storage import parse_memory_size
+
+        try:
+            cluster = cluster.with_memory_budget(
+                parse_memory_size(args.memory_budget)
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     pending = store.pending_ids()
     if not pending:
         print("nothing to do: no pending jobs in the spool")
         return 0
     config = ServiceConfig(
-        cluster=DEFAULT_CLUSTER.with_backend(args.backend, args.workers),
+        cluster=cluster,
         checkpoint_root=store.checkpoint_root,
         checkpoint_every=args.checkpoint_every,
         keep_last=args.keep_last,

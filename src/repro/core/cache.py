@@ -85,6 +85,23 @@ class RowSummationCache:
         """Total cached row summations across all (full-width) tables."""
         return sum(table.shape[0] for table in self.full_tables)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this cache, for storage-tier accounting.
+
+        The full-width slice entry aliases ``full_tables``, so sliced
+        tables are deduplicated by identity to avoid double counting.
+        """
+        total = int(self.columns_packed.nbytes)
+        seen = {id(table) for table in self.full_tables}
+        total += sum(int(table.nbytes) for table in self.full_tables)
+        for tables in self._sliced.values():
+            for table in tables:
+                if id(table) not in seen:
+                    seen.add(id(table))
+                    total += int(table.nbytes)
+        return total
+
     def tables_for(self, start: int, stop: int) -> list[np.ndarray]:
         """Cache tables restricted to bit columns ``[start, stop)``.
 

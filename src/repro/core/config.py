@@ -81,6 +81,14 @@ class DbtfConfig:
         from its newest intact snapshot.  ``None`` (default) disables
         checkpointing entirely — the iteration loop pays a single ``None``
         check.
+    memory_budget:
+        Byte ceiling for driver-resident partition caches (the out-of-core
+        storage tier, :mod:`repro.storage`).  ``None`` (default) defers to
+        ``cluster.memory_budget``; factors and errors are bit-identical
+        with or without a budget, only spill I/O is added.
+    spill_dir:
+        Parent directory for storage-tier spill files.  ``None`` (default)
+        defers to ``cluster.spill_dir``.
     """
 
     rank: int
@@ -98,6 +106,8 @@ class DbtfConfig:
     tracing: bool = False
     eager: bool = False
     checkpoint: CheckpointConfig | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -136,6 +146,10 @@ class DbtfConfig:
             )
         if self.n_workers is not None and self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
 
     def resolved_partitions(self) -> int:
         """The effective partition count N."""
@@ -150,6 +164,8 @@ class DbtfConfig:
             and self.n_workers is None
             and not self.tracing
             and not self.eager
+            and self.memory_budget is None
+            and self.spill_dir is None
         ):
             return self.cluster
         return replace(
@@ -160,4 +176,12 @@ class DbtfConfig:
             ),
             tracing=self.tracing or self.cluster.tracing,
             eager=self.eager or self.cluster.eager,
+            memory_budget=(
+                self.memory_budget if self.memory_budget is not None
+                else self.cluster.memory_budget
+            ),
+            spill_dir=(
+                self.spill_dir if self.spill_dir is not None
+                else self.cluster.spill_dir
+            ),
         )

@@ -52,6 +52,11 @@ def prepare_partitioned_unfoldings(
     plan layer fuses it into the first factor-update stage that touches the
     mode and caches the packed partitions there (a persist tap), so every
     later iteration reads the cache instead of re-packing.
+
+    Under a memory budget (``ClusterConfig(memory_budget=...)``) both the
+    coordinate-split source and the packed persist cache are admitted to
+    the out-of-core storage tier, so the three modes' partitions need not
+    be driver-resident simultaneously — cold modes spill and page back in.
     """
     rdds = []
     for mode in range(3):
@@ -60,6 +65,9 @@ def prepare_partitioned_unfoldings(
             unfolding.block_count, unfolding.block_width, n_partitions
         )
         coordinate_splits = split_unfolding_coordinates(unfolding, plans)
+        # The dense unfolded view is transient per mode: drop it before the
+        # next mode so the driver's peak holds one unfolding, not three.
+        del unfolding
         runtime.record_transfer(
             TransferKind.SHUFFLE,
             f"partitionUnfolding[{mode}]",

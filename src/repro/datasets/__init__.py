@@ -4,6 +4,8 @@ from .graphs import connected_nonzero_components, fiber_graph
 from .importers import (
     LabelledTensor,
     bin_timestamps,
+    from_matrix_market,
+    from_slice_files,
     from_timestamped_edges,
     from_triple_file,
     from_triples,
@@ -23,6 +25,8 @@ __all__ = [
     "LabelledTensor",
     "from_triples",
     "from_triple_file",
+    "from_matrix_market",
+    "from_slice_files",
     "from_timestamped_edges",
     "bin_timestamps",
     "fiber_graph",

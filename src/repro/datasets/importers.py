@@ -18,7 +18,7 @@ import numpy as np
 from ..tensor import SparseBoolTensor
 
 __all__ = ["LabelledTensor", "from_triples", "from_triple_file", "bin_timestamps",
-           "from_timestamped_edges"]
+           "from_timestamped_edges", "from_matrix_market", "from_slice_files"]
 
 
 @dataclass(frozen=True)
@@ -32,10 +32,26 @@ class LabelledTensor:
         return self.labels[mode][index]
 
     def index_of(self, mode: int, label: str) -> int:
-        """Index of a label along a mode (linear scan; modes are modest)."""
+        """Index of a label along a mode.
+
+        Backed by a lazily built reverse dict per mode (the dataclass is
+        frozen but not slotted, so the memo lives in ``__dict__``): the
+        first lookup on a mode pays one pass, every later one is O(1) —
+        this is hot in importer round-trips over real label spaces.
+        """
+        reverse = self.__dict__.get("_reverse")
+        if reverse is None:
+            reverse = {}
+            object.__setattr__(self, "_reverse", reverse)
+        mapping = reverse.get(mode)
+        if mapping is None:
+            mapping = {
+                name: index for index, name in enumerate(self.labels[mode])
+            }
+            reverse[mode] = mapping
         try:
-            return self.labels[mode].index(label)
-        except ValueError:
+            return mapping[label]
+        except KeyError:
             raise KeyError(f"label {label!r} not found in mode {mode}") from None
 
 
@@ -86,6 +102,192 @@ def from_triple_file(
                 )
             rows.append(parts)
     return from_triples(rows)
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket (.mtx) and sliced multi-file loaders
+# ----------------------------------------------------------------------
+#: Coordinate rows per batch handed to the streaming builder.
+_MTX_BATCH_ROWS = 65536
+
+_MTX_FIELDS = ("pattern", "real", "integer")
+_MTX_SYMMETRIES = ("general", "symmetric")
+
+
+def _parse_mtx_header(path: str, line: str) -> tuple[str, str]:
+    """Validate the ``%%MatrixMarket`` banner; returns (field, symmetry)."""
+    parts = line.strip().split()
+    if len(parts) < 5 or parts[0].lower() != "%%matrixmarket":
+        raise ValueError(
+            f"{path}:1: not a MatrixMarket file (header {line.strip()!r})"
+        )
+    kind, layout, field, symmetry = (p.lower() for p in parts[1:5])
+    if kind != "matrix" or layout != "coordinate":
+        raise ValueError(
+            f"{path}:1: only 'matrix coordinate' files are supported, "
+            f"got '{kind} {layout}'"
+        )
+    if field not in _MTX_FIELDS:
+        raise ValueError(
+            f"{path}:1: unsupported field {field!r} "
+            f"(expected one of {_MTX_FIELDS})"
+        )
+    if symmetry not in _MTX_SYMMETRIES:
+        raise ValueError(
+            f"{path}:1: unsupported symmetry {symmetry!r} "
+            f"(expected one of {_MTX_SYMMETRIES})"
+        )
+    return field, symmetry
+
+
+def _iter_mtx_entries(path: "str | os.PathLike"):
+    """Yield ``(row, col)`` (0-based) per stored nonzero of a ``.mtx`` file.
+
+    The first yielded item is the ``(n_rows, n_cols)`` shape.  Explicitly
+    stored zero values are skipped (the tensor is Boolean); symmetric files
+    yield both ``(i, j)`` and ``(j, i)``.  Raises :class:`ValueError` with
+    ``path:line`` context on every malformed input.
+    """
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError(f"{path}: empty file, expected MatrixMarket header")
+        field, symmetry = _parse_mtx_header(path, first)
+        shape: "tuple[int, int] | None" = None
+        declared = 0
+        seen = 0
+        line_number = 1
+        for line in handle:
+            line_number += 1
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if shape is None:
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{path}:{line_number}: size line must be "
+                        f"'rows cols nnz', got {line!r}"
+                    )
+                try:
+                    n_rows, n_cols, declared = (int(p) for p in parts)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: non-integer size line {line!r}"
+                    ) from None
+                if n_rows <= 0 or n_cols <= 0 or declared < 0:
+                    raise ValueError(
+                        f"{path}:{line_number}: invalid sizes {line!r}"
+                    )
+                shape = (n_rows, n_cols)
+                yield shape
+                continue
+            expected_fields = 2 if field == "pattern" else 3
+            if len(parts) != expected_fields:
+                raise ValueError(
+                    f"{path}:{line_number}: expected {expected_fields} "
+                    f"fields for a {field} entry, got {len(parts)}"
+                )
+            try:
+                row, col = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-integer coordinates {line!r}"
+                ) from None
+            seen += 1
+            if seen > declared:
+                raise ValueError(
+                    f"{path}:{line_number}: more entries than the declared "
+                    f"{declared}"
+                )
+            if not (1 <= row <= shape[0] and 1 <= col <= shape[1]):
+                raise ValueError(
+                    f"{path}:{line_number}: entry ({row}, {col}) out of "
+                    f"bounds for {shape[0]}x{shape[1]}"
+                )
+            if field != "pattern":
+                try:
+                    value = float(parts[2])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: non-numeric value "
+                        f"{parts[2]!r}"
+                    ) from None
+                if value == 0.0:
+                    continue  # explicit zero: absent in a Boolean tensor
+            yield (row - 1, col - 1)
+            if symmetry == "symmetric" and row != col:
+                yield (col - 1, row - 1)
+        if shape is None:
+            raise ValueError(f"{path}: missing size line")
+        if seen != declared:
+            raise ValueError(
+                f"{path}: declared {declared} entries but found {seen}"
+            )
+
+
+def from_matrix_market(
+    path: "str | os.PathLike", batch_rows: int = _MTX_BATCH_ROWS
+) -> SparseBoolTensor:
+    """Read a MatrixMarket coordinate file as a two-way Boolean tensor.
+
+    Supports ``pattern``, ``real``, and ``integer`` fields (nonzero values
+    become ``True``; explicitly stored zeros are dropped) and ``general``/
+    ``symmetric`` layouts.  Entries stream through
+    :class:`~repro.storage.StreamingTensorBuilder` in ``batch_rows``
+    chunks, so duplicate-heavy files never materialize a full raw
+    coordinate list.  No scipy required — the parser is self-contained.
+    """
+    from ..storage import StreamingTensorBuilder, iter_coordinate_batches
+
+    entries = _iter_mtx_entries(path)
+    shape = next(entries)
+    builder = StreamingTensorBuilder(shape)
+    for batch in iter_coordinate_batches(entries, batch_rows=batch_rows):
+        builder.add_batch(batch)
+    return builder.build()
+
+
+def from_slice_files(
+    paths: "Sequence[str | os.PathLike]",
+    batch_rows: int = _MTX_BATCH_ROWS,
+) -> SparseBoolTensor:
+    """Stack per-slice ``.mtx`` files into a three-way Boolean tensor.
+
+    ``paths[k]`` holds frontal slice ``X[:, :, k]`` as a MatrixMarket
+    coordinate matrix (the RESCAL-style one-matrix-per-relation layout);
+    every slice must declare the same ``rows x cols`` shape.  Slices are
+    ingested one at a time through the streaming builder, so the peak
+    driver footprint is one slice's batches plus the accumulated distinct
+    nonzeros — never the whole raw dataset.
+    """
+    from ..storage import StreamingTensorBuilder, iter_coordinate_batches
+
+    paths = list(paths)
+    if not paths:
+        raise ValueError("from_slice_files needs at least one slice file")
+    builder: "object | None" = None
+    slice_shape: "tuple[int, int] | None" = None
+    for k, path in enumerate(paths):
+        entries = _iter_mtx_entries(path)
+        shape = next(entries)
+        if slice_shape is None:
+            slice_shape = shape
+            builder = StreamingTensorBuilder(
+                (shape[0], shape[1], len(paths))
+            )
+        elif shape != slice_shape:
+            raise ValueError(
+                f"{os.fspath(path)}: slice {k} is {shape[0]}x{shape[1]}, "
+                f"expected {slice_shape[0]}x{slice_shape[1]} like slice 0"
+            )
+        for batch in iter_coordinate_batches(entries, batch_rows=batch_rows):
+            full = np.empty((batch.shape[0], 3), dtype=np.int64)
+            full[:, :2] = batch
+            full[:, 2] = k
+            builder.add_batch(full)
+    return builder.build()
 
 
 def bin_timestamps(timestamps: np.ndarray, n_bins: int) -> np.ndarray:

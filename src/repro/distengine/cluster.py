@@ -98,11 +98,28 @@ class ClusterConfig:
         Path of the autotune cache file (or directory) used by the
         ``"auto"`` tier and for threshold overrides.  ``None`` keeps the
         current process configuration.
+    memory_budget:
+        Byte ceiling for driver-resident partition caches.  When set, the
+        runtime routes plan caches through the out-of-core storage tier
+        (:mod:`repro.storage`): least-recently-used caches spill to disk
+        and page back on access, transparently and bit-identically, with
+        the I/O metered as :attr:`~repro.distengine.shuffle.TransferKind.
+        SPILL`.  ``None`` (the default) disables the tier entirely — no
+        storage objects are constructed and the hot paths pay one ``None``
+        check.
+    spill_dir:
+        Parent directory for the storage tier's spill files (a unique
+        subdirectory is created inside it per runtime).  ``None`` uses the
+        system temp dir.  Only meaningful with ``memory_budget`` set.
     """
 
     n_machines: int = 16
     cores_per_machine: int = 8
     network_bytes_per_sec: float = 1.0e9
+    #: Effective local-disk bandwidth used to convert storage-tier spill
+    #: bytes into time in the cost replay (zero spill bytes without a
+    #: memory budget, so the default replay is unaffected).
+    disk_bytes_per_sec: float = 2.0e9
     task_launch_overhead_sec: float = 0.004
     driver_latency_sec: float = 0.003
     backend: str = "serial"
@@ -114,6 +131,8 @@ class ClusterConfig:
     handle_broadcasts: bool = True
     kernel_tier: str | None = None
     autotune_cache: str | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -124,6 +143,8 @@ class ClusterConfig:
             )
         if self.network_bytes_per_sec <= 0:
             raise ValueError("network_bytes_per_sec must be positive")
+        if self.disk_bytes_per_sec <= 0:
+            raise ValueError("disk_bytes_per_sec must be positive")
         if self.task_launch_overhead_sec < 0:
             raise ValueError("task_launch_overhead_sec must be non-negative")
         if self.driver_latency_sec < 0:
@@ -136,6 +157,10 @@ class ClusterConfig:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
         if self.kernel_tier is not None and not self.kernel_tier:
             raise ValueError("kernel_tier must be a non-empty string or None")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
 
     @property
     def total_slots(self) -> int:
@@ -173,6 +198,12 @@ class ClusterConfig:
     def with_handle_broadcasts(self, handles: bool = True) -> "ClusterConfig":
         """The same cluster with the broadcast-handle hot path toggled."""
         return replace(self, handle_broadcasts=handles)
+
+    def with_memory_budget(
+        self, memory_budget: int | None, spill_dir: str | None = None
+    ) -> "ClusterConfig":
+        """The same cluster with the out-of-core storage tier configured."""
+        return replace(self, memory_budget=memory_budget, spill_dir=spill_dir)
 
     def with_kernel_tier(
         self, kernel_tier: str | None, autotune_cache: str | None = None

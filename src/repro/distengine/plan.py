@@ -250,10 +250,13 @@ class LogicalPlan:
         return self._ensure(self.node, runtime)
 
     def _ensure(self, node: PlanNode, runtime) -> list[list]:
+        # `cached is not None` covers both resident lists and the storage
+        # tier's SpilledPartitions markers; `cached_partitions` resolves
+        # either to the actual list (paging spilled entries back in).
         if node.cached is not None:
             if node.persisted and not node.is_source:
                 runtime.count_cache_hits(len(node.cached))
-            return node.cached
+            return runtime.cached_partitions(node)
         chain, base_node = self.optimizer.chain_for(node)
         base = self._ensure(base_node, runtime)
         stage = PhysicalStage(chain)
@@ -266,9 +269,11 @@ class LogicalPlan:
         for position, partitions in tapped:
             chain[position].cached = partitions
             runtime.count_partitions_cached(len(partitions))
+            runtime.admit_cache(chain[position])
         if node.persisted:
             node.cached = finals
             runtime.count_partitions_cached(len(finals))
+            runtime.admit_cache(node)
         return finals
 
     def explain(self) -> str:

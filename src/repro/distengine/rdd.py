@@ -147,6 +147,10 @@ class Distributed:
                 "source", label=name, node_id=runtime.next_plan_id()
             )
             node.cached = partitions if partitions is not None else []
+            if partitions:
+                # Source data is a driver-resident cache like any persist
+                # tap; under a memory budget it becomes spillable too.
+                runtime.admit_cache(node)
         self.node = node
 
     # ------------------------------------------------------------------
@@ -227,6 +231,7 @@ class Distributed:
         if runtime.eager:
             node.cached = runtime.materialize(node)
             node.release()
+            runtime.admit_cache(node)
         return derived
 
     def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Distributed":

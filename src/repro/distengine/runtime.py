@@ -21,6 +21,7 @@ from typing import Any
 
 from ..observability import MetricsRegistry, SpanKind, Tracer
 from ..resilience import RetryPolicy, SpeculationConfig, plan_speculation
+from ..storage import MemoryBudget, PartitionSpillStore
 from .backends import Backend, make_backend
 from .broadcast import Broadcast
 from .cluster import DEFAULT_CLUSTER, ClusterConfig
@@ -79,6 +80,10 @@ class ExecutionReport:
     #: Serialized task-payload bytes shipped at stage launch (closure
     #: capture); already summed over tasks, crosses the network once.
     task_bytes: int = 0
+    #: Local disk I/O of the out-of-core storage tier (cache spill + load
+    #: under a memory budget); zero without one.  Deliberately excluded
+    #: from :attr:`network_bytes` — spill traffic never crosses the wire.
+    spill_bytes: int = 0
 
     @property
     def network_bytes(self) -> int:
@@ -154,6 +159,18 @@ class SimulatedRuntime:
         # Spill directory for broadcast values when the backend does not
         # share the driver's memory; created lazily, removed by close().
         self._spill_dir: str | None = None
+        # Out-of-core storage tier: only constructed under an explicit
+        # memory budget, so the default path pays one None check per cache
+        # access and records zero storage spans/counters.
+        self.storage: PartitionSpillStore | None = None
+        if config.memory_budget is not None:
+            self.storage = PartitionSpillStore(
+                MemoryBudget(config.memory_budget, metrics=self.metrics),
+                spill_dir=config.spill_dir,
+                measure=estimate_bytes,
+                record_io=self._record_spill_io,
+                tracer=self.tracer,
+            )
 
     @property
     def eager(self) -> bool:
@@ -172,6 +189,8 @@ class SimulatedRuntime:
             return
         self._closed = True
         self.evict_all()
+        if self.storage is not None:
+            self.storage.close()
         if self._owns_backend:
             self.backend.close()
         if self._spill_dir is not None:
@@ -306,6 +325,8 @@ class SimulatedRuntime:
                     len(node.cached)
                 )
             node.cached = None
+        if self.storage is not None:
+            self.storage.discard(node)
 
     def evict_all(self, count: bool = True) -> None:
         """Evict every registered persist cache (``close()``/``reset()``)."""
@@ -317,6 +338,24 @@ class SimulatedRuntime:
 
     def count_cache_hits(self, n_partitions: int) -> None:
         self.metrics.counter("cache_hits_total").inc(n_partitions)
+
+    # ------------------------------------------------------------------
+    # Out-of-core storage tier (no-ops without a memory budget)
+    # ------------------------------------------------------------------
+    def cached_partitions(self, node: PlanNode) -> "list[list] | None":
+        """The partitions behind ``node.cached``, paging spilled ones in."""
+        if self.storage is not None:
+            return self.storage.fetch(node)
+        return node.cached
+
+    def admit_cache(self, node: PlanNode) -> None:
+        """Hand a freshly cached node to the storage tier for budgeting."""
+        if self.storage is not None:
+            self.storage.admit(node)
+
+    def _record_spill_io(self, stage: str, n_bytes: int) -> None:
+        """Ledger/metrics/trace entry for one storage spill or load."""
+        self.record_transfer(TransferKind.SPILL, stage, n_bytes)
 
     def run_plan(
         self,
@@ -565,6 +604,12 @@ class SimulatedRuntime:
             + self._broadcast_base_bytes * machines
         )
         network_time = network_bytes / self.config.network_bytes_per_sec
+        # Storage-tier spill/load is local disk I/O, not network traffic:
+        # it extends the driver's critical path at disk bandwidth.  Zero
+        # without a memory budget, so the default replay is unchanged.
+        spill_bytes = self.ledger.bytes_of_kind(TransferKind.SPILL)
+        spill_time = spill_bytes / self.config.disk_bytes_per_sec
+        total = compute + network_time + spill_time
         # The cost replay (the scheduler's consumer) reports its split into
         # the registry so experiments can read compute vs. network shares.
         self.metrics.gauge("simulated_compute_seconds", machines=machines).set(
@@ -573,10 +618,14 @@ class SimulatedRuntime:
         self.metrics.gauge("simulated_network_seconds", machines=machines).set(
             network_time
         )
+        if spill_bytes:
+            self.metrics.gauge(
+                "simulated_spill_seconds", machines=machines
+            ).set(spill_time)
         self.metrics.gauge("simulated_time_seconds", machines=machines).set(
-            compute + network_time
+            total
         )
-        return compute + network_time
+        return total
 
     def _effective_durations(self, stage: StageReport) -> tuple[float, ...]:
         """A stage's per-task simulated durations with resilience applied.
@@ -622,4 +671,5 @@ class SimulatedRuntime:
             tasks_speculated=int(speculated),
             speculative_wins=int(wins),
             task_bytes=self.ledger.bytes_of_kind(TransferKind.TASK),
+            spill_bytes=self.ledger.bytes_of_kind(TransferKind.SPILL),
         )

@@ -34,14 +34,21 @@ class TransferKind:
     stage launch — the closure-capture cost Spark charges per task.  Before
     the broadcast-handle plane this traffic was invisible; metering it is
     what makes the handle-vs-closure comparison honest.
+
+    ``SPILL`` is local disk I/O of the out-of-core storage tier (cache
+    spill and load under a memory budget).  It is metered through the same
+    ledger so spill traffic shows up next to network traffic in reports,
+    but the cost replay charges it against disk bandwidth, not as bytes
+    crossing the simulated network.
     """
 
     SHUFFLE = "shuffle"
     BROADCAST = "broadcast"
     COLLECT = "collect"
     TASK = "task"
+    SPILL = "spill"
 
-    ALL = (SHUFFLE, BROADCAST, COLLECT, TASK)
+    ALL = (SHUFFLE, BROADCAST, COLLECT, TASK, SPILL)
 
 
 #: What a :class:`BroadcastHandle` costs on the wire inside a task payload:

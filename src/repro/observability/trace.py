@@ -52,8 +52,9 @@ class SpanKind:
     TRANSFER = "transfer"
     CHECKPOINT = "checkpoint"
     SPECULATION = "speculation"
+    STORAGE = "storage"
 
-    ALL = (STAGE, TASK, KERNEL, TRANSFER, CHECKPOINT, SPECULATION)
+    ALL = (STAGE, TASK, KERNEL, TRANSFER, CHECKPOINT, SPECULATION, STORAGE)
 
 
 @dataclass(frozen=True)

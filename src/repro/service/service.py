@@ -366,15 +366,24 @@ class FactorizationService:
         job.checkpoint_every = self.config.checkpoint_every
         try:
             if spec.method == "dbtf":
+                cluster = self.config.cluster
+                if cluster.memory_budget is not None:
+                    # Each job spills under its own checkpoint root, so a
+                    # finished (or failed) job's spill files are removed
+                    # with _cleanup_spill and never outlive the job.
+                    cluster = cluster.with_memory_budget(
+                        cluster.memory_budget,
+                        spill_dir=str(self._root / job.job_id / "spill"),
+                    )
                 config = DbtfConfig(
                     rank=spec.rank,
                     max_iterations=spec.max_iterations,
                     n_initial_sets=spec.n_initial_sets,
                     seed=spec.seed,
-                    cluster=self.config.cluster,
+                    cluster=cluster,
                     checkpoint=checkpoint,
                 )
-                job.lease = self.factory.lease()
+                job.lease = self.factory.lease(config=cluster)
                 job.generator = dbtf_steps(spec.tensor, config, job.lease.runtime)
             elif spec.method == "nway-cp":
                 config = NwayCpConfig(
@@ -426,6 +435,12 @@ class FactorizationService:
                 "tenant_shuffle_bytes_total", tenant=job.tenant
             ).inc(float(ledger.total_bytes))
 
+    def _cleanup_spill(self, job: Job) -> None:
+        """Remove a terminal job's spill directory (its caches are dead)."""
+        if self.config.cluster.memory_budget is not None:
+            shutil.rmtree(self._root / job.job_id / "spill",
+                          ignore_errors=True)
+
     def _finish(self, job: Job, result: Any) -> None:
         job.result = result
         job.converged = True if getattr(result, "converged", False) else job.converged
@@ -435,6 +450,7 @@ class FactorizationService:
             # error rather than none at all.
             job.last_error = getattr(result, "error", None)
         self._deactivate(job)
+        self._cleanup_spill(job)
         job.state = JobState.DONE
         job.finished_at = time.perf_counter()
         self.metrics.counter(
@@ -445,6 +461,7 @@ class FactorizationService:
     def _fail(self, job: Job, exc: Exception) -> None:
         job.message = f"{type(exc).__name__}: {exc}"
         self._deactivate(job)
+        self._cleanup_spill(job)
         job.state = JobState.FAILED
         job.finished_at = time.perf_counter()
         self.metrics.counter(

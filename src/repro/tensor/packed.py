@@ -42,6 +42,40 @@ class PackedUnfolding:
                 flat, linear, np.uint64(1) << bit_offset.astype(np.uint64)
             )
 
+    @classmethod
+    def from_words(
+        cls,
+        mode: int,
+        n_rows: int,
+        block_count: int,
+        block_width: int,
+        words: np.ndarray,
+    ) -> "PackedUnfolding":
+        """Wrap already-packed words (e.g. a read-only memmap) directly.
+
+        The storage tier's load path: words written by
+        :class:`~repro.storage.MmapUnfoldingStore` come back as a memmap,
+        and this constructor attaches them without copying.  The array may
+        be read-only — every consumer either reads slices or copies them
+        into fresh partition arrays.
+        """
+        expected = (n_rows, block_count, packing.words_for_bits(block_width))
+        if tuple(words.shape) != expected:
+            raise ValueError(
+                f"words shape {tuple(words.shape)} does not match "
+                f"expected {expected}"
+            )
+        if words.dtype != np.uint64:
+            raise ValueError(f"words must be uint64, got {words.dtype}")
+        packed = cls.__new__(cls)
+        packed.mode = mode
+        packed.n_rows = n_rows
+        packed.block_count = block_count
+        packed.block_width = block_width
+        packed.n_words = expected[2]
+        packed.words = words
+        return packed
+
     @property
     def n_cols(self) -> int:
         return self.block_count * self.block_width

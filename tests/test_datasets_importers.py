@@ -5,6 +5,8 @@ import pytest
 
 from repro.datasets import (
     bin_timestamps,
+    from_matrix_market,
+    from_slice_files,
     from_timestamped_edges,
     from_triple_file,
     from_triples,
@@ -121,3 +123,242 @@ class TestFromTimestampedEdges:
         result = dbtf(labelled.tensor, rank=2, seed=0, n_partitions=2,
                       max_iterations=2)
         assert result.error <= labelled.tensor.nnz
+
+
+def _write_mtx(path, body: str) -> str:
+    path.write_text(body)
+    return str(path)
+
+
+class TestFromMatrixMarket:
+    def test_pattern_general(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "3 4 3\n"
+            "1 1\n"
+            "2 3\n"
+            "3 4\n"
+        ))
+        tensor = from_matrix_market(path)
+        assert tensor.shape == (3, 4)
+        np.testing.assert_array_equal(
+            tensor.coords, [[0, 0], [1, 2], [2, 3]]
+        )
+
+    def test_real_drops_explicit_zeros(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.5\n"
+            "1 2 0.0\n"
+            "2 2 -3\n"
+        ))
+        tensor = from_matrix_market(path)
+        np.testing.assert_array_equal(tensor.coords, [[0, 0], [1, 1]])
+
+    def test_symmetric_mirrors_off_diagonal(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate integer symmetric\n"
+            "3 3 2\n"
+            "2 1 7\n"
+            "3 3 1\n"
+        ))
+        tensor = from_matrix_market(path)
+        np.testing.assert_array_equal(
+            tensor.coords, [[0, 1], [1, 0], [2, 2]]
+        )
+
+    def test_duplicate_entries_collapse(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 3\n"
+            "1 1\n"
+            "1 1\n"
+            "2 2\n"
+        ))
+        assert from_matrix_market(path).nnz == 2
+
+    def test_case_insensitive_header(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MATRIXMARKET MATRIX Coordinate Pattern General\n"
+            "1 1 1\n"
+            "1 1\n"
+        ))
+        assert from_matrix_market(path).nnz == 1
+
+    def test_round_trips_from_triples(self, tmp_path):
+        # The same adjacency via the labelled-triple path and the .mtx path
+        # must give the same Boolean structure.
+        pairs = [(0, 1), (1, 2), (2, 0), (1, 0)]
+        labelled = from_triples(
+            [(f"r{i}", "edge", f"c{j}") for i, j in pairs]
+        )
+        lines = "".join(f"{i + 1} {j + 1}\n" for i, j in pairs)
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            f"3 3 {len(pairs)}\n" + lines
+        ))
+        tensor = from_matrix_market(path)
+        assert {tuple(c) for c in tensor.coords} == set(pairs)
+        # from_triples assigns first-seen indices; mapping each coordinate
+        # back through its labels must recover the same cell set.
+        via_labels = {
+            (int(labelled.label_of(0, a)[1:]), int(labelled.label_of(2, b)[1:]))
+            for a, _, b in labelled.tensor.coords
+        }
+        assert via_labels == {tuple(c) for c in tensor.coords}
+
+    def test_small_batches_match_one_shot(self, tmp_path):
+        rng = np.random.default_rng(4)
+        cells = {(int(r), int(c)) for r, c in
+                 zip(rng.integers(0, 10, 40), rng.integers(0, 8, 40))}
+        lines = "".join(f"{r + 1} {c + 1}\n" for r, c in sorted(cells))
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            f"10 8 {len(cells)}\n" + lines
+        ))
+        chunked = from_matrix_market(path, batch_rows=3)
+        one_shot = from_matrix_market(path)
+        np.testing.assert_array_equal(chunked.coords, one_shot.coords)
+
+
+class TestMatrixMarketErrors:
+    def test_empty_file(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", "")
+        with pytest.raises(ValueError, match="empty file"):
+            from_matrix_market(path)
+
+    def test_bad_banner(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", "1 1 1\n1 1\n")
+        with pytest.raises(ValueError, match="not a MatrixMarket file"):
+            from_matrix_market(path)
+
+    def test_unsupported_layout(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix array real general\n"
+        ))
+        with pytest.raises(ValueError, match="matrix coordinate"):
+            from_matrix_market(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate complex general\n"
+        ))
+        with pytest.raises(ValueError, match="unsupported field"):
+            from_matrix_market(path)
+
+    def test_missing_size_line(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% only comments follow\n"
+        ))
+        with pytest.raises(ValueError, match="missing size line"):
+            from_matrix_market(path)
+
+    def test_malformed_size_line(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 x 1\n"
+        ))
+        with pytest.raises(ValueError, match="non-integer size"):
+            from_matrix_market(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1\n"
+        ))
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            from_matrix_market(path)
+
+    def test_out_of_bounds_entry(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "3 1\n"
+        ))
+        with pytest.raises(ValueError, match="out of bounds"):
+            from_matrix_market(path)
+
+    def test_declared_count_mismatch(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n"
+        ))
+        with pytest.raises(ValueError, match="declared 2 entries but found 1"):
+            from_matrix_market(path)
+
+    def test_error_carries_line_number(self, tmp_path):
+        path = _write_mtx(tmp_path / "m.mtx", (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "a b\n"
+        ))
+        with pytest.raises(ValueError, match=r":3:"):
+            from_matrix_market(path)
+
+
+class TestFromSliceFiles:
+    def _slice(self, tmp_path, name, pairs, shape=(3, 4)):
+        lines = "".join(f"{i + 1} {j + 1}\n" for i, j in pairs)
+        return _write_mtx(tmp_path / name, (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            f"{shape[0]} {shape[1]} {len(pairs)}\n" + lines
+        ))
+
+    def test_stacks_slices_along_third_mode(self, tmp_path):
+        paths = [
+            self._slice(tmp_path, "s0.mtx", [(0, 0), (1, 1)]),
+            self._slice(tmp_path, "s1.mtx", [(2, 3)]),
+        ]
+        tensor = from_slice_files(paths)
+        assert tensor.shape == (3, 4, 2)
+        assert {tuple(c) for c in tensor.coords} == {
+            (0, 0, 0), (1, 1, 0), (2, 3, 1)
+        }
+
+    def test_matches_from_triples_structure(self, tmp_path):
+        pairs_by_slice = [[(0, 1), (1, 0)], [(0, 0)], [(2, 2), (0, 1)]]
+        paths = [
+            self._slice(tmp_path, f"s{k}.mtx", pairs, shape=(3, 3))
+            for k, pairs in enumerate(pairs_by_slice)
+        ]
+        tensor = from_slice_files(paths)
+        expected = {
+            (i, j, k)
+            for k, pairs in enumerate(pairs_by_slice)
+            for i, j in pairs
+        }
+        assert {tuple(c) for c in tensor.coords} == expected
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        paths = [
+            self._slice(tmp_path, "s0.mtx", [(0, 0)], shape=(3, 4)),
+            self._slice(tmp_path, "s1.mtx", [(0, 0)], shape=(2, 4)),
+        ]
+        with pytest.raises(ValueError, match="slice 1 is 2x4, expected 3x4"):
+            from_slice_files(paths)
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one slice"):
+            from_slice_files([])
+
+    def test_factorizable_output(self, tmp_path):
+        rng = np.random.default_rng(1)
+        paths = []
+        for k in range(2):
+            pairs = {(int(r), int(c)) for r, c in
+                     zip(rng.integers(0, 6, 12), rng.integers(0, 6, 12))}
+            paths.append(
+                self._slice(tmp_path, f"s{k}.mtx", sorted(pairs),
+                            shape=(6, 6))
+            )
+        tensor = from_slice_files(paths)
+        from repro import dbtf
+
+        result = dbtf(tensor, rank=2, seed=0, n_partitions=2,
+                      max_iterations=2)
+        assert result.error <= tensor.nnz

@@ -23,6 +23,7 @@ RUNNABLE = [
     "multiway_logs",
     "custom_data",
     "resume_after_kill",
+    "streaming_ingest",
 ]
 
 

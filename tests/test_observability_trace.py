@@ -205,5 +205,6 @@ class TestSpanRecord:
 
     def test_kinds(self):
         assert SpanKind.ALL == (
-            "stage", "task", "kernel", "transfer", "checkpoint", "speculation"
+            "stage", "task", "kernel", "transfer", "checkpoint",
+            "speculation", "storage",
         )

@@ -1,0 +1,143 @@
+"""Tests for the content-addressed memmap unfolding store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage import MmapUnfoldingStore
+from repro.storage.mmap_store import HEADER_BYTES
+from repro.tensor import PackedUnfolding, random_tensor, unfold
+
+
+def _packed(mode: int = 0, seed: int = 3) -> PackedUnfolding:
+    tensor = random_tensor((6, 7, 8), density=0.2,
+                           rng=np.random.default_rng(seed))
+    return PackedUnfolding(unfold(tensor, mode))
+
+
+class TestSaveLoadRoundTrip:
+    def test_words_and_metadata_survive(self, tmp_path):
+        packed = _packed()
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            loaded = store.load(store.save(packed))
+            assert loaded.mode == packed.mode
+            assert loaded.n_rows == packed.n_rows
+            assert loaded.block_count == packed.block_count
+            assert loaded.block_width == packed.block_width
+            assert loaded.n_words == packed.n_words
+            assert np.array_equal(np.asarray(loaded.words), packed.words)
+
+    def test_loaded_words_are_read_only_memmap(self, tmp_path):
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            loaded = store.flush(_packed())
+            base = loaded.words
+            while base.base is not None and not isinstance(base, np.memmap):
+                base = base.base
+            assert isinstance(base, np.memmap)
+            with pytest.raises((ValueError, OSError)):
+                loaded.words[0, 0, 0] = np.uint64(1)
+
+    def test_all_modes_round_trip(self, tmp_path):
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            for mode in range(3):
+                packed = _packed(mode)
+                loaded = store.flush(packed)
+                assert np.array_equal(np.asarray(loaded.words), packed.words)
+
+
+class TestContentAddressing:
+    def test_identical_content_maps_to_one_file(self, tmp_path):
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            path_a = store.save(_packed(seed=3))
+            mtime = os.path.getmtime(path_a)
+            path_b = store.save(_packed(seed=3))
+            assert path_a == path_b
+            assert os.path.getmtime(path_a) == mtime  # no rewrite
+
+    def test_different_content_maps_to_different_files(self, tmp_path):
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            assert store.save(_packed(seed=3)) != store.save(_packed(seed=4))
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        with MmapUnfoldingStore(str(tmp_path)) as store:
+            store.save(_packed())
+            assert all(name.endswith(".unf") for name in os.listdir(tmp_path))
+
+
+class TestCorruptionDetection:
+    def test_truncated_file_rejected(self, tmp_path):
+        store = MmapUnfoldingStore(str(tmp_path))
+        path = store.save(_packed())
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 8)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            store.load(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        store = MmapUnfoldingStore(str(tmp_path))
+        path = store.save(_packed())
+        with open(path, "r+b") as handle:
+            handle.write(b'{"magic": "something-else-entirely"}'.ljust(
+                HEADER_BYTES))
+        with pytest.raises(ValueError, match="magic"):
+            store.load(path)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        store = MmapUnfoldingStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "junk.unf")
+        with open(path, "wb") as handle:
+            handle.write(b"\xff" * (HEADER_BYTES + 8))
+        with pytest.raises(ValueError, match="malformed header"):
+            store.load(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        store = MmapUnfoldingStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "short.unf")
+        with open(path, "wb") as handle:
+            handle.write(b"tiny")
+        with pytest.raises(ValueError, match="complete header"):
+            store.load(path)
+
+
+class TestDirectoryOwnership:
+    def test_owned_temp_directory_removed_on_close(self):
+        store = MmapUnfoldingStore()
+        directory = store.directory
+        store.save(_packed())
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_explicit_directory_left_in_place(self, tmp_path):
+        store = MmapUnfoldingStore(str(tmp_path))
+        path = store.save(_packed())
+        store.close()
+        assert os.path.exists(path)
+
+
+class TestFromWords:
+    def test_wrong_shape_rejected(self):
+        packed = _packed()
+        with pytest.raises(ValueError):
+            PackedUnfolding.from_words(
+                packed.mode, packed.n_rows + 1, packed.block_count,
+                packed.block_width, packed.words,
+            )
+
+    def test_wrong_dtype_rejected(self):
+        packed = _packed()
+        with pytest.raises(ValueError):
+            PackedUnfolding.from_words(
+                packed.mode, packed.n_rows, packed.block_count,
+                packed.block_width, packed.words.astype(np.int64),
+            )
+
+    def test_equivalent_to_packing(self):
+        packed = _packed()
+        rebuilt = PackedUnfolding.from_words(
+            packed.mode, packed.n_rows, packed.block_count,
+            packed.block_width, packed.words,
+        )
+        assert np.array_equal(rebuilt.words, packed.words)
+        assert rebuilt.n_cols == packed.n_cols
