@@ -1,0 +1,295 @@
+"""Acceptance gate for incremental epoch-evolving factorization.
+
+Evolves a planted tensor through T delta epochs and, per backend,
+factorizes the stream twice:
+
+* **incrementally** — one :class:`repro.FactorizationSession` that patches
+  its cached unfoldings in place and warm-starts the solver per epoch,
+  re-sweeping only delta-dirtied columns;
+* **from scratch** — an independent ``dbtf`` run on each epoch's full
+  tensor (what a non-incremental stack would do every snapshot).
+
+The stream is constructed so each epoch's optimum is *known*: epoch ``e``
+punches a few holes into cells covered exclusively by planted component
+``e % cycle`` and refills the holes punched ``cycle`` epochs earlier, so
+the planted factors stay optimal and the optimal error is exactly the
+number of outstanding holes.  Verified per epoch and backend:
+
+* the incremental run lands exactly on that **analytic optimum**, and is
+  never worse than the from-scratch run (from-scratch occasionally falls
+  into a far worse local optimum on the hole-punched tensors — cold
+  sample initialization has no memory of the planted structure, which is
+  precisely the failure mode warm-starting removes);
+* the incremental run performs at least **5x fewer column sweeps** per
+  delta epoch (scoped evaluations plus any escalated full iterations,
+  against the batch run's full ``iterations x 3R`` sweep bill);
+* incremental factors and error traces are **bit-identical across the
+  serial, thread, and process backends**.
+
+Usage::
+
+    python benchmarks/bench_incremental.py            # 24^3 tensor, 5 epochs
+    python benchmarks/bench_incremental.py --smoke    # CI-sized quick run
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from _emit import emit, entry
+
+from repro import FactorizationSession
+from repro.bitops import packing
+from repro.core import DbtfConfig, dbtf
+from repro.distengine import ClusterConfig, SimulatedRuntime
+from repro.tensor import TensorDelta, planted_tensor
+
+#: The asserted floor on (from-scratch sweeps) / (incremental sweeps).
+SPEEDUP_FLOOR = 5.0
+
+#: Components cycled through by the hole-punch/refill schedule.
+CYCLE = 3
+
+
+def _dense(factor):
+    return packing.unpack_bits(factor.words, factor.n_cols).reshape(
+        factor.n_rows, factor.n_cols
+    )
+
+
+def _evolve(tensor, factors, n_epochs, n_holes, rng):
+    """Hole-punch/refill deltas with a known optimum per epoch.
+
+    Epoch ``e`` removes ``n_holes`` cells covered *exclusively* by planted
+    component ``e % CYCLE`` and re-adds the holes of epoch ``e - CYCLE``
+    (same component).  Planted factors therefore stay optimal throughout
+    and the optimal error equals the outstanding-hole count.
+    """
+    dense = [_dense(factor) for factor in factors]
+    deltas, tensors, optima, holes = [], [], [], []
+    outstanding = 0
+    current = tensor
+    for epoch in range(n_epochs):
+        component = epoch % CYCLE
+        coords = current.coords
+        coverage = (
+            dense[0][coords[:, 0]]
+            & dense[1][coords[:, 1]]
+            & dense[2][coords[:, 2]]
+        )
+        exclusive = np.flatnonzero(
+            coverage[:, component] & (coverage.sum(axis=1) == 1)
+        )
+        pick = exclusive[
+            rng.choice(
+                len(exclusive),
+                size=min(n_holes, len(exclusive)),
+                replace=False,
+            )
+        ]
+        removed = coords[pick]
+        added = (
+            holes[epoch - CYCLE]
+            if epoch >= CYCLE
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        delta = TensorDelta.from_coords(current.shape, added, removed)
+        current = current.apply_delta(delta)
+        outstanding += delta.n_removed - delta.n_added
+        deltas.append(delta)
+        tensors.append(current)
+        optima.append(outstanding)
+        holes.append(removed)
+    return deltas, tensors, optima
+
+
+def _config(args, backend):
+    return DbtfConfig(
+        rank=args.rank,
+        seed=0,
+        max_iterations=args.iterations,
+        n_partitions=args.partitions,
+        cluster=ClusterConfig(
+            n_machines=2, cores_per_machine=2, backend=backend
+        ),
+    )
+
+
+def _incremental(tensor, deltas, args, backend):
+    """One session advanced through every delta; per-epoch stats."""
+    config = _config(args, backend)
+    epochs = []
+    started = time.perf_counter()
+    with FactorizationSession(tensor, config) as session:
+        epochs.append(session.factorize())
+        for delta in deltas:
+            epochs.append(session.advance(delta))
+        simulated_s = session.runtime.report().simulated_time
+    wall_s = time.perf_counter() - started
+    return epochs, wall_s, simulated_s
+
+
+def _scratch(tensors, args, backend):
+    """Independent full factorization of each epoch's tensor."""
+    config = _config(args, backend)
+    results = []
+    started = time.perf_counter()
+    for tensor in tensors:
+        runtime = SimulatedRuntime(config.resolved_cluster())
+        try:
+            results.append(dbtf(tensor, config=config, runtime=runtime))
+        finally:
+            runtime.close()
+    wall_s = time.perf_counter() - started
+    return results, wall_s
+
+
+def _epoch_sweeps(epoch, rank):
+    """Column evaluations one delta epoch cost the incremental path.
+
+    The scoped first iteration's evaluations are metered
+    (``columns_swept``); every later iteration is an escalated full sweep
+    of all 3R columns on the unmetered batch path.  The error trace holds
+    the baseline entry plus one entry per iteration.
+    """
+    full_iterations = max(0, len(epoch.result.errors_per_iteration) - 2)
+    return epoch.columns_swept + full_iterations * 3 * rank
+
+
+def _scratch_sweeps(result, rank):
+    """A batch run evaluates all 3R columns per recorded error entry."""
+    return len(result.errors_per_iteration) * 3 * rank
+
+
+def _fingerprint(epochs):
+    return tuple(
+        (
+            tuple(factor.words.tobytes() for factor in epoch.result.factors),
+            epoch.result.errors_per_iteration,
+        )
+        for epoch in epochs
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dim", type=int, default=24,
+                        help="cube side length (default 24)")
+    parser.add_argument("--rank", type=int, default=6)
+    parser.add_argument("--factor-density", type=float, default=0.25)
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=5,
+                        help="delta epochs after the initial factorization")
+    parser.add_argument("--holes", type=int, default=3,
+                        help="cells removed per delta epoch")
+    parser.add_argument("--backends", nargs="+",
+                        default=["serial", "thread", "process"],
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (16^3, rank 5)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.dim, args.rank, args.partitions = 16, 5, 3
+        args.factor_density, args.holes = 0.35, 2
+
+    rng = np.random.default_rng(7)
+    tensor, factors = planted_tensor(
+        (args.dim,) * 3, rank=args.rank,
+        factor_density=args.factor_density, rng=rng,
+    )
+    deltas, tensors, optima = _evolve(
+        tensor, factors, args.epochs, args.holes, rng
+    )
+    print(f"tensor          : {args.dim}^3, planted rank {args.rank}, "
+          f"{tensor.nnz} nonzeros")
+    print(f"epoch stream    : {args.epochs} hole-punch/refill deltas, "
+          f"{args.holes} holes per epoch")
+
+    entries = []
+    failures = []
+    fingerprints = {}
+    print()
+    print(f"{'backend':<10}{'inc wall (s)':>13}{'scratch wall':>13}"
+          f"{'inc sweeps':>12}{'scratch':>9}{'ratio':>7}{'optimal':>9}")
+    for backend in args.backends:
+        epochs, inc_wall, inc_sim = _incremental(
+            tensor, deltas, args, backend
+        )
+        scratch_results, scratch_wall = _scratch(tensors, args, backend)
+        fingerprints[backend] = _fingerprint(epochs)
+
+        if epochs[0].error != 0:
+            failures.append(
+                f"{backend}: epoch 0 error {epochs[0].error} != 0 — the "
+                f"batch run must recover the planted factors for the "
+                f"stream's optima to be known"
+            )
+        optimal = True
+        inc_sweeps = scratch_sweeps = 0
+        for epoch, scratch, optimum in zip(
+            epochs[1:], scratch_results, optima
+        ):
+            if epoch.result.error != optimum:
+                optimal = False
+                failures.append(
+                    f"{backend}: epoch {epoch.epoch} error "
+                    f"{epoch.result.error} != analytic optimum {optimum}"
+                )
+            if epoch.result.error > scratch.error:
+                failures.append(
+                    f"{backend}: epoch {epoch.epoch} error "
+                    f"{epoch.result.error} worse than from-scratch "
+                    f"{scratch.error}"
+                )
+            epoch_inc = _epoch_sweeps(epoch, args.rank)
+            epoch_scratch = _scratch_sweeps(scratch, args.rank)
+            inc_sweeps += epoch_inc
+            scratch_sweeps += epoch_scratch
+            if epoch_inc * SPEEDUP_FLOOR > epoch_scratch:
+                failures.append(
+                    f"{backend}: epoch {epoch.epoch} swept {epoch_inc} "
+                    f"columns, from-scratch {epoch_scratch} — below the "
+                    f"{SPEEDUP_FLOOR:.0f}x floor"
+                )
+        ratio = scratch_sweeps / max(inc_sweeps, 1)
+        print(f"{backend:<10}{inc_wall:>13.3f}{scratch_wall:>13.3f}"
+              f"{inc_sweeps:>12}{scratch_sweeps:>9}{ratio:>6.1f}x"
+              f"{str(optimal):>9}")
+        entries.append(
+            entry(f"incremental_{backend}",
+                  {"dim": args.dim, "rank": args.rank,
+                   "epochs": args.epochs, "holes": args.holes,
+                   "inc_sweeps": int(inc_sweeps),
+                   "scratch_sweeps": int(scratch_sweeps),
+                   "sweep_ratio": float(ratio),
+                   "scratch_wall_s": float(scratch_wall),
+                   "final_error": int(epochs[-1].result.error)},
+                  inc_wall, inc_sim)
+        )
+
+    reference = fingerprints[args.backends[0]]
+    for backend in args.backends[1:]:
+        if fingerprints[backend] != reference:
+            failures.append(
+                f"{backend}: incremental factors differ from "
+                f"{args.backends[0]}"
+            )
+
+    print()
+    emit("BENCH_incremental.json", entries)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"all epochs at the analytic optimum with >= "
+          f"{SPEEDUP_FLOOR:.0f}x fewer column sweeps; backends "
+          f"bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

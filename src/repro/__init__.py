@@ -18,6 +18,7 @@ Quickstart::
 
 from .bitops import BitMatrix
 from .core import DbtfConfig, DecompositionResult, dbtf
+from .incremental import EpochResult, FactorizationSession, SessionResult
 from .resilience import CheckpointConfig, RetryPolicy, SpeculationConfig
 from .tucker import BooleanTuckerConfig, BooleanTuckerResult, boolean_tucker
 from .tensor import (
@@ -40,6 +41,9 @@ __all__ = [
     "dbtf",
     "DbtfConfig",
     "DecompositionResult",
+    "FactorizationSession",
+    "EpochResult",
+    "SessionResult",
     "CheckpointConfig",
     "RetryPolicy",
     "SpeculationConfig",

@@ -139,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
     factorize.add_argument("--spill-dir", default=None, metavar="DIR",
                            help="parent directory for --memory-budget spill "
                                 "files (default: system temp dir)")
+    factorize.add_argument("--delta", action="append", default=[],
+                           metavar="PATH",
+                           help="delta file (see repro.tensor.save_delta) to "
+                                "apply after the initial factorization; "
+                                "repeatable, applied in order (dbtf only). "
+                                "Runs the incremental epoch path: cached "
+                                "unfoldings are patched in place and the "
+                                "solver warm-starts per epoch, re-sweeping "
+                                "only delta-dirtied columns")
 
     jobs = subparsers.add_parser(
         "jobs", help="multi-tenant factorization jobs over a file spool"
@@ -325,9 +334,56 @@ def _command_factorize(args: argparse.Namespace) -> int:
         print("--spill-dir requires --memory-budget", file=sys.stderr)
         return 2
 
+    if args.delta and args.method != "dbtf":
+        print(
+            f"--delta is only supported for dbtf, not {args.method}",
+            file=sys.stderr,
+        )
+        return 2
+
     tensor = load_tensor(args.tensor)
     tracer = metrics = None
-    if args.method == "dbtf":
+    if args.method == "dbtf" and args.delta:
+        from .core import DbtfConfig
+        from .incremental import FactorizationSession
+        from .tensor import load_delta
+
+        deltas = [load_delta(path) for path in args.delta]
+        config = DbtfConfig(
+            rank=args.rank,
+            seed=args.seed,
+            max_iterations=args.max_iterations,
+            n_initial_sets=args.initial_sets,
+            n_partitions=args.partitions,
+            backend=args.backend,
+            n_workers=args.workers,
+            tracing=observing,
+            eager=args.eager,
+            memory_budget=memory_budget,
+            spill_dir=args.spill_dir,
+        )
+        with FactorizationSession(
+            tensor,
+            config,
+            checkpoint_root=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            keep_last=args.checkpoint_keep_last,
+        ) as session:
+            epochs = [session.factorize()]
+            epochs.extend(session.advance(delta) for delta in deltas)
+            if observing:
+                tracer = session.runtime.tracer
+                metrics = session.runtime.metrics
+            result = epochs[-1].result
+        print(f"method         : DBTF incremental ({len(epochs)} epochs, "
+              f"{args.backend} backend)")
+        print(f"{'epoch':>5} {'changes':>8} {'dirty':>6} {'swept':>6} "
+              f"{'skipped':>8}  error")
+        for epoch in epochs:
+            print(f"{epoch.epoch:>5} {epoch.n_changes:>8} "
+                  f"{sum(epoch.dirty_columns):>6} {epoch.columns_swept:>6} "
+                  f"{epoch.columns_skipped:>8}  {epoch.error}")
+    elif args.method == "dbtf":
         from contextlib import nullcontext
 
         from .core import dbtf

@@ -3,6 +3,12 @@
 from .cache import RowSummationCache, split_groups
 from .config import DbtfConfig
 from .decompose import dbtf, dbtf_steps, prepare_partitioned_unfoldings
+from .incremental import (
+    PartitionedUnfoldings,
+    baseline_error_after_delta,
+    dirty_columns_for_delta,
+    prepare_mode_partitions,
+)
 from .partition import (
     Block,
     BlockType,
@@ -39,4 +45,8 @@ __all__ = [
     "update_factor",
     "CachedPartition",
     "prepare_partitioned_unfoldings",
+    "prepare_mode_partitions",
+    "PartitionedUnfoldings",
+    "dirty_columns_for_delta",
+    "baseline_error_after_delta",
 ]

@@ -14,20 +14,16 @@ from typing import Generator
 import numpy as np
 
 from ..bitops import BitMatrix
-from ..distengine import Distributed, SimulatedRuntime, TransferKind
+from ..distengine import Distributed, SimulatedRuntime
 from ..resilience import (
     CheckpointManager,
     config_fingerprint,
     factors_from_state,
     factors_state,
 )
-from ..tensor import MODE_FACTOR_ROLES, SparseBoolTensor, unfold
+from ..tensor import MODE_FACTOR_ROLES, SparseBoolTensor
 from .config import DbtfConfig
-from .partition import (
-    make_partition_plans,
-    pack_partition,
-    split_unfolding_coordinates,
-)
+from .incremental import prepare_mode_partitions
 from .result import DecompositionResult
 from .steps import StepEvent, drive
 from .update import update_factor
@@ -53,35 +49,17 @@ def prepare_partitioned_unfoldings(
     mode and caches the packed partitions there (a persist tap), so every
     later iteration reads the cache instead of re-packing.
 
-    Under a memory budget (``ClusterConfig(memory_budget=...)``) both the
-    coordinate-split source and the packed persist cache are admitted to
-    the out-of-core storage tier, so the three modes' partitions need not
-    be driver-resident simultaneously — cold modes spill and page back in.
+    Under a memory budget (``ClusterConfig(memory_budget=...)``) the packed
+    unfoldings are built through the runtime's memmap store and the
+    partitions become zero-copy views over the files (see
+    :func:`repro.core.incremental.prepare_mode_partitions`), with the
+    storage tier budgeting what stays driver-resident — cold modes spill
+    and page back in.
     """
-    rdds = []
-    for mode in range(3):
-        unfolding = unfold(tensor, mode)
-        plans = make_partition_plans(
-            unfolding.block_count, unfolding.block_width, n_partitions
-        )
-        coordinate_splits = split_unfolding_coordinates(unfolding, plans)
-        # The dense unfolded view is transient per mode: drop it before the
-        # next mode so the driver's peak holds one unfolding, not three.
-        del unfolding
-        runtime.record_transfer(
-            TransferKind.SHUFFLE,
-            f"partitionUnfolding[{mode}]",
-            sum(split.nbytes for split in coordinate_splits),
-        )
-        rdd = (
-            runtime.from_partitions(
-                [[split] for split in coordinate_splits], name=f"pX({mode + 1})"
-            )
-            .map(pack_partition, name=f"partitionAndPack[{mode}]")
-            .persist()
-        )
-        rdds.append(rdd)
-    return rdds
+    return [
+        prepare_mode_partitions(tensor, mode, n_partitions, runtime)[0]
+        for mode in range(3)
+    ]
 
 
 def _random_factors(
@@ -172,6 +150,49 @@ def _update_all_factors(
             config,
             runtime,
         )
+    return (current[0], current[1], current[2]), error
+
+
+def _update_all_factors_scoped(
+    mode_rdds: list[Distributed],
+    factors: Factors,
+    config: DbtfConfig,
+    runtime: SimulatedRuntime,
+    dirty_columns: "list[set[int]]",
+) -> "tuple[Factors, int | None]":
+    """One support-scoped outer iteration (the incremental warm restart).
+
+    Each mode re-sweeps only its dirty columns — escalating to a full sweep
+    of the remaining modes as soon as any evaluated column changes, because
+    a changed column invalidates every later cached decision (its coverage
+    feeds their ``rec0``).  Returns ``(factors, error)`` where the error is
+    ``None`` when *no* column anywhere was evaluated (an all-clean delta:
+    the caller already knows the exact baseline error) and otherwise the
+    exact reconstruction error after the last evaluated column.
+    """
+    current = list(factors)
+    error: "int | None" = None
+    escalated = False
+    all_columns = set(range(config.rank))
+    for mode in range(3):
+        target_index, outer_index, inner_index = MODE_FACTOR_ROLES[mode]
+        dirty = all_columns if escalated else dirty_columns[mode]
+        if not dirty:
+            continue
+        updated, mode_error, changed = update_factor(
+            mode_rdds[mode],
+            current[target_index],
+            current[outer_index],
+            current[inner_index],
+            config,
+            runtime,
+            dirty_columns=dirty,
+        )
+        current[target_index] = updated
+        if mode_error is not None:
+            error = mode_error
+        if changed:
+            escalated = True
     return (current[0], current[1], current[2]), error
 
 
@@ -266,6 +287,11 @@ def dbtf_steps(
     tensor: SparseBoolTensor,
     config: DbtfConfig,
     runtime: SimulatedRuntime,
+    *,
+    warm_start: "dict | None" = None,
+    shared_unfoldings: "list[Distributed] | None" = None,
+    dirty_columns: "list[set[int]] | None" = None,
+    baseline_error: "int | None" = None,
 ) -> Generator[StepEvent, None, DecompositionResult]:
     """Cooperatively-stepped DBTF: one outer iteration per ``next()``.
 
@@ -276,6 +302,33 @@ def dbtf_steps(
     continues bit-identically.  Draining the generator is exactly
     :func:`dbtf`; the service layer instead interleaves many generators
     over one shared worker pool.
+
+    The keyword-only parameters are the incremental epoch-advance contract
+    (:mod:`repro.incremental`); all default to the classic batch behavior:
+
+    ``warm_start``
+        A checkpoint-format state dict (the previous epoch's
+        ``result.state``).  Skips initialization entirely: factors, RNG
+        state, and the init index are restored and iteration starts at 1
+        from a ``phase="warm"`` step 0.  A checkpoint resume, when
+        configured and present, takes precedence — it encodes progress
+        *within* this epoch.
+    ``shared_unfoldings``
+        Caller-owned partitioned mode RDDs (a
+        :class:`~repro.core.incremental.PartitionedUnfoldings` generation).
+        The generator neither rebuilds nor unpersists them.
+    ``dirty_columns``
+        Per-mode sets of columns the epoch's delta can have moved
+        (:func:`~repro.core.incremental.dirty_columns_for_delta`).  Only
+        honored for the first warm iteration; clean columns skip their
+        error evaluations, escalating to full sweeps on any change.  All
+        three sets empty means the warm factors are untouched by the delta:
+        the run converges at the baseline error with zero stages.
+    ``baseline_error``
+        The warm factors' exact reconstruction error on *this* tensor
+        (:func:`~repro.core.incremental.baseline_error_after_delta`).
+        Defaults to the warm state's last recorded error, which is only
+        valid when the tensor is unchanged.
     """
     if tensor.ndim != 3:
         raise ValueError(f"DBTF factorizes three-way tensors, got {tensor.ndim}-way")
@@ -288,22 +341,28 @@ def dbtf_steps(
             tracer=runtime.tracer,
         )
 
+    owns_unfoldings = shared_unfoldings is None
     mode_rdds: list[Distributed] = []
     try:
         rng = np.random.default_rng(config.seed)
-        # The partitioned unfoldings are always rebuilt, resume or not —
-        # they are derived data (lineage recomputation, like Spark
-        # rebuilding a lost RDD), so checkpoints stay small: only the
-        # factors, error trace, and RNG state go to disk.  Rebuilding is
-        # lazy: the packing stage dispatches fused into the first factor
-        # update that touches each mode.
-        mode_rdds = prepare_partitioned_unfoldings(
-            tensor, config.resolved_partitions(), runtime
+        # The partitioned unfoldings are rebuilt unless the caller shares a
+        # live generation — they are derived data (lineage recomputation,
+        # like Spark rebuilding a lost RDD), so checkpoints stay small:
+        # only the factors, error trace, and RNG state go to disk.
+        # Rebuilding is lazy: the packing stage dispatches fused into the
+        # first factor update that touches each mode.
+        mode_rdds = (
+            list(shared_unfoldings)
+            if shared_unfoldings is not None
+            else prepare_partitioned_unfoldings(
+                tensor, config.resolved_partitions(), runtime
+            )
         )
 
         resumed = None
         if manager is not None and config.checkpoint.resume:
             resumed = manager.load_latest()
+        scoped = False
         if resumed is not None:
             step, state = resumed
             factors = factors_from_state(state["factors"])
@@ -314,6 +373,31 @@ def dbtf_steps(
             # generator state keeps any future rng consumer bit-identical.
             rng.bit_generator.state = state["rng_state"]
             start_iteration = step + 1
+            # A resume at step 0 of a warm epoch restarts the epoch's first
+            # (and only scoped) iteration; any later step means the scoped
+            # pass already ran and full sweeps continue the trajectory.
+            scoped = (
+                dirty_columns is not None and warm_start is not None and step == 0
+            )
+        elif warm_start is not None:
+            factors = factors_from_state(warm_start["factors"])
+            init_index = int(warm_start.get("init_index", 0))
+            if "rng_state" in warm_start:
+                rng.bit_generator.state = warm_start["rng_state"]
+            if baseline_error is None:
+                baseline_error = int(warm_start["errors"][-1])
+            errors = [int(baseline_error)]
+            # All-clean delta: no column's decision can have moved, so the
+            # warm factors are already a fixed point for this epoch —
+            # converge at the baseline without dispatching a single stage.
+            converged = dirty_columns is not None and not any(dirty_columns)
+            scoped = dirty_columns is not None and not converged
+            start_iteration = 1
+            if manager is not None and (manager.should_save(0) or converged):
+                manager.save(
+                    0, _dbtf_state(factors, errors, converged, rng, init_index)
+                )
+            yield StepEvent(0, errors[-1], converged, phase="warm")
         else:
             # First iteration: try L initializations, keep the best
             # (lines 5-8).
@@ -343,7 +427,18 @@ def dbtf_steps(
         for iteration in range(start_iteration, config.max_iterations):
             if converged:
                 break
-            factors, error = _update_all_factors(mode_rdds, factors, config, runtime)
+            if scoped and iteration == start_iteration:
+                factors, scoped_error = _update_all_factors_scoped(
+                    mode_rdds, factors, config, runtime, dirty_columns
+                )
+                # None means nothing was evaluated anywhere — impossible
+                # here (an all-empty dirty set converged above), but the
+                # baseline is the correct error for it regardless.
+                error = errors[-1] if scoped_error is None else scoped_error
+            else:
+                factors, error = _update_all_factors(
+                    mode_rdds, factors, config, runtime
+                )
             improvement = errors[-1] - error
             errors.append(error)
             if improvement <= threshold:
@@ -362,8 +457,11 @@ def dbtf_steps(
         # Release the per-mode partition caches so a caller-supplied
         # runtime does not accumulate persisted unfoldings across runs —
         # also the cancellation path: ``generator.close()`` lands here.
-        for rdd in mode_rdds:
-            rdd.unpersist()
+        # Shared unfoldings belong to the epoch session, which keeps them
+        # alive (and patched) across epochs.
+        if owns_unfoldings:
+            for rdd in mode_rdds:
+                rdd.unpersist()
 
     return DecompositionResult(
         factors=factors,
@@ -373,4 +471,5 @@ def dbtf_steps(
         converged=converged,
         report=runtime.report(),
         config=config,
+        state=_dbtf_state(factors, errors, converged, rng, init_index),
     )

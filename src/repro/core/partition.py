@@ -257,16 +257,28 @@ def pack_partition(coordinates: PartitionCoordinates) -> PartitionData:
 
 
 def build_partition_data(
-    packed: PackedUnfolding, plans: list[PartitionPlan]
+    packed: PackedUnfolding, plans: list[PartitionPlan], copy: bool = True
 ) -> list[PartitionData]:
-    """Materialize each partition's packed tensor blocks from an unfolding."""
+    """Materialize each partition's packed tensor blocks from an unfolding.
+
+    With ``copy=False`` full-width blocks stay zero-copy views of
+    ``packed.words`` — when the unfolding is memmap-backed
+    (:class:`~repro.storage.MmapUnfoldingStore`), the partitions then
+    reference file-backed pages instead of duplicating the whole unfolding
+    in driver RAM.  Partial blocks always allocate (``slice_bits`` shifts
+    across word boundaries).
+    """
     data = []
     for plan in plans:
         block_words = []
         for block in plan.blocks:
             pvm_words = packed.words[:, block.pvm_index, :]
             if block.is_full:
-                block_words.append(pvm_words.copy())
+                # np.asarray demotes memmap views to plain ndarray views so
+                # downstream pickling/kernels never see the memmap subclass.
+                block_words.append(
+                    np.asarray(pvm_words) if not copy else pvm_words.copy()
+                )
             else:
                 block_words.append(
                     packing.slice_bits(pvm_words, block.start, block.stop)

@@ -34,6 +34,13 @@ class DecompositionResult:
         algorithms that run purely on the driver).
     config:
         The configuration that produced this result.
+    state:
+        The solver's checkpoint-format state at the final iteration
+        boundary (factors, error trace, RNG state, init index), when the
+        solver exports one — the warm-start carrier an incremental epoch
+        advance (:mod:`repro.incremental`) feeds back into
+        ``dbtf_steps(warm_start=...)``.  ``None`` for solvers that do not
+        support warm starts.
     """
 
     factors: tuple[BitMatrix, BitMatrix, BitMatrix]
@@ -43,6 +50,7 @@ class DecompositionResult:
     converged: bool
     report: ExecutionReport | None
     config: DbtfConfig
+    state: dict | None = None
 
     @property
     def relative_error(self) -> float:

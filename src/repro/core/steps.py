@@ -48,7 +48,11 @@ class StepEvent:
         this event and then finishes.
     phase:
         ``"init"`` for the initialization boundary, ``"iteration"`` or
-        ``"restart"`` afterwards.
+        ``"restart"`` afterwards.  ``"warm"`` marks the step-0 boundary of
+        a warm-started epoch advance (``dbtf_steps(warm_start=...)``):
+        factors were carried over from the previous epoch instead of being
+        initialized, and ``error`` is the carried factors' exact baseline
+        error on the updated tensor.
     """
 
     step: int

@@ -265,16 +265,45 @@ def update_factor(
     inner: BitMatrix,
     config: DbtfConfig,
     runtime: SimulatedRuntime,
-) -> tuple[BitMatrix, int]:
+    *,
+    dirty_columns: "set[int] | None" = None,
+):
     """Update ``target`` to minimize ``|X_(n) ⊕ target ∘ (outer ⊙ inner)ᵀ|``.
 
-    Returns the updated factor and the reconstruction error after the last
-    column update (which equals the full tensor error for the new factors).
+    With ``dirty_columns=None`` (the default and the only path the batch
+    solver uses) every column is swept and the return value is
+    ``(updated, error_after)`` — the reconstruction error after the last
+    column update, which equals the full tensor error for the new factors.
+
+    With a ``dirty_columns`` set (the incremental path,
+    :mod:`repro.incremental`), only columns in the set are re-swept —
+    clean columns keep their bits and skip their ``2`` error evaluations
+    entirely — *until* an evaluated column changes, after which every later
+    column of this update is evaluated too ("escalate on change"): a
+    changed column alters ``rec0`` for its successors, so their cached
+    decisions are no longer trustworthy.  The return value becomes
+    ``(updated, error_after_or_None, changed_columns)`` where the error is
+    ``None`` when no column was evaluated (empty dirty set) and otherwise
+    exact (any evaluated column's error is a full reconstruction error).
     """
     if target.n_cols != config.rank:
         raise ValueError(
             f"target has {target.n_cols} columns but config.rank is {config.rank}"
         )
+    if dirty_columns is not None:
+        dirty = {int(column) for column in dirty_columns}
+        if any(not 0 <= column < config.rank for column in dirty):
+            raise ValueError(
+                f"dirty_columns {sorted(dirty)} out of range for rank "
+                f"{config.rank}"
+            )
+        if not dirty:
+            runtime.metrics.counter("incremental_columns_skipped_total").inc(
+                config.rank
+            )
+            return target.copy(), None, set()
+    else:
+        dirty = None
     handles = runtime.config.handle_broadcasts
     # Ship the factor matrices to the workers (paper Sec. III-E: factor
     # matrices are broadcast each iteration).  With handles on, the column
@@ -306,7 +335,17 @@ def update_factor(
     # handle path reads the same rows worker-side from the cache it built.
     inner_columns = None if handles else inner.transpose().words
     deltas: list[tuple] = []
+    changed: set[int] = set()
+    escalated = False
+    evaluated = skipped = 0
     for column in range(config.rank):
+        if dirty is not None and not (escalated or column in dirty):
+            # Clean column under an intact prefix: the delta cannot have
+            # moved this column's decision (its support misses every touched
+            # fiber) and no earlier column changed rec0 — keep its bits and
+            # skip both error evaluations.
+            skipped += 1
+            continue
         if handles:
             task = _ColumnErrorsDeltaTask(
                 factors, column, tuple(deltas), updated.n_rows
@@ -329,6 +368,11 @@ def update_factor(
         # Strict inequality: ties keep 0, favouring sparser factors (the
         # paper does not specify a tie rule; see DESIGN.md).
         chosen = (error_if_one < error_if_zero).astype(np.uint8)
+        if dirty is not None:
+            evaluated += 1
+            if not np.array_equal(chosen, updated.column(column)):
+                changed.add(column)
+                escalated = True
         updated.set_column(column, chosen)
         error_after = int(np.minimum(error_if_zero, error_if_one).sum())
         # The workers need the freshly updated column for the next
@@ -341,4 +385,8 @@ def update_factor(
     # The cache tables are stale the moment `inner` changes in the next
     # mode's update; evict rather than letting them pile up until close().
     cached_rdd.unpersist()
-    return updated, error_after
+    if dirty is None:
+        return updated, error_after
+    runtime.metrics.counter("incremental_columns_swept_total").inc(evaluated)
+    runtime.metrics.counter("incremental_columns_skipped_total").inc(skipped)
+    return updated, (error_after if evaluated else None), changed

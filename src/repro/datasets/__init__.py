@@ -9,6 +9,8 @@ from .importers import (
     from_timestamped_edges,
     from_triple_file,
     from_triples,
+    to_matrix_market,
+    to_slice_files,
 )
 from .registry import REGISTRY, DatasetSpec, list_datasets, load_dataset
 from .synthetic import ErrorTensorSpec, blocky_tensor, error_tensor, scalability_tensor
@@ -27,6 +29,8 @@ __all__ = [
     "from_triple_file",
     "from_matrix_market",
     "from_slice_files",
+    "to_matrix_market",
+    "to_slice_files",
     "from_timestamped_edges",
     "bin_timestamps",
     "fiber_graph",

@@ -18,7 +18,8 @@ import numpy as np
 from ..tensor import SparseBoolTensor
 
 __all__ = ["LabelledTensor", "from_triples", "from_triple_file", "bin_timestamps",
-           "from_timestamped_edges", "from_matrix_market", "from_slice_files"]
+           "from_timestamped_edges", "from_matrix_market", "from_slice_files",
+           "to_matrix_market", "to_slice_files"]
 
 
 @dataclass(frozen=True)
@@ -288,6 +289,65 @@ def from_slice_files(
             full[:, 2] = k
             builder.add_batch(full)
     return builder.build()
+
+
+def _write_mtx(
+    path: "str | os.PathLike", shape: tuple[int, int], coords: np.ndarray
+) -> None:
+    """Write one 2-way coordinate set as ``pattern general`` MatrixMarket."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("%%MatrixMarket matrix coordinate pattern general\n")
+        handle.write(f"{shape[0]} {shape[1]} {coords.shape[0]}\n")
+        for row, col in coords:
+            handle.write(f"{int(row) + 1} {int(col) + 1}\n")
+
+
+def to_matrix_market(
+    tensor: SparseBoolTensor, path: "str | os.PathLike"
+) -> None:
+    """Write a two-way Boolean tensor as a MatrixMarket coordinate file.
+
+    Emits ``pattern general`` with 1-based sorted entries, the exact subset
+    of the format :func:`from_matrix_market` reads — so
+    ``from_matrix_market(to_matrix_market(X)) == X`` for every two-way
+    tensor (coordinates are already canonical: sorted and deduplicated).
+    """
+    if tensor.ndim != 2:
+        raise ValueError(
+            f"to_matrix_market writes two-way tensors, got {tensor.ndim}-way "
+            f"(use to_slice_files for three-way tensors)"
+        )
+    _write_mtx(path, tensor.shape, tensor.coords)
+
+
+def to_slice_files(
+    tensor: SparseBoolTensor,
+    directory: "str | os.PathLike",
+    prefix: str = "slice",
+) -> list[str]:
+    """Write a three-way tensor as one ``.mtx`` file per frontal slice.
+
+    Slice ``X[:, :, k]`` becomes ``<directory>/<prefix>-<k>.mtx`` in the
+    RESCAL-style layout :func:`from_slice_files` reads; returns the written
+    paths in slice order, so the round trip is
+    ``from_slice_files(to_slice_files(X, d)) == X``.  Every slice file is
+    written, including empty ones — the slice count carries mode 2's
+    dimension.
+    """
+    if tensor.ndim != 3:
+        raise ValueError(
+            f"to_slice_files writes three-way tensors, got {tensor.ndim}-way"
+        )
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    width = max(4, len(str(max(tensor.shape[2] - 1, 0))))
+    paths = []
+    for k in range(tensor.shape[2]):
+        coords = tensor.coords[tensor.coords[:, 2] == k][:, :2]
+        path = os.path.join(directory, f"{prefix}-{k:0{width}d}.mtx")
+        _write_mtx(path, (tensor.shape[0], tensor.shape[1]), coords)
+        paths.append(path)
+    return paths
 
 
 def bin_timestamps(timestamps: np.ndarray, n_bins: int) -> np.ndarray:

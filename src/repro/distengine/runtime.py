@@ -171,6 +171,10 @@ class SimulatedRuntime:
                 record_io=self._record_spill_io,
                 tracer=self.tracer,
             )
+        # Memmap-backed unfolding files (built lazily by the first caller):
+        # only meaningful alongside the storage tier, which also provides
+        # the spill directory the files live under.
+        self._unfolding_store = None
 
     @property
     def eager(self) -> bool:
@@ -189,6 +193,9 @@ class SimulatedRuntime:
             return
         self._closed = True
         self.evict_all()
+        if self._unfolding_store is not None:
+            self._unfolding_store.close()
+            self._unfolding_store = None
         if self.storage is not None:
             self.storage.close()
         if self._owns_backend:
@@ -234,6 +241,26 @@ class SimulatedRuntime:
         :class:`Distributed`, which takes ownership without copying.
         """
         return Distributed(self, [list(p) for p in partitions], name=name)
+
+    def unfolding_storage(self):
+        """The runtime's memmap-backed unfolding store (budgeted runs only).
+
+        Returns ``None`` when no memory budget is configured — the default
+        path must build nothing and touch no disk.  Under a budget, a
+        :class:`~repro.storage.MmapUnfoldingStore` is created lazily inside
+        the spill store's directory, so one ``close()`` tears down both
+        tiers and a leased runtime's unfolding files share its job-scoped
+        spill root.
+        """
+        if self.storage is None:
+            return None
+        if self._unfolding_store is None:
+            from ..storage import MmapUnfoldingStore
+
+            self._unfolding_store = MmapUnfoldingStore(
+                os.path.join(self.storage.directory, "unfoldings")
+            )
+        return self._unfolding_store
 
     def broadcast(self, value: Any, name: str = "broadcast") -> Broadcast:
         """Ship one read-only copy of ``value`` toward every machine.

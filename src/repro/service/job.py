@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..distengine.shuffle import stable_hash
-from ..tensor import SparseBoolTensor
+from ..tensor import SparseBoolTensor, TensorDelta
 
 __all__ = ["JobState", "JobSpec", "Job", "JobStatus", "METHODS"]
 
@@ -76,6 +76,13 @@ class JobSpec:
     priority:
         Larger runs earlier *within* a tenant and wins preemption contests
         across tenants; does not change the job id.
+    deltas:
+        Optional epoch stream (``dbtf`` only): the job factorizes
+        ``tensor`` and then advances the factorization through each
+        :class:`~repro.tensor.TensorDelta` in order via an incremental
+        session (:class:`~repro.incremental.FactorizationSession`), its
+        result a :class:`~repro.incremental.SessionResult`.  The deltas
+        define the work, so they participate in the job id.
     """
 
     tenant: str
@@ -87,6 +94,7 @@ class JobSpec:
     n_initial_sets: int = 1
     seed: int = 0
     priority: int = 0
+    deltas: "tuple[TensorDelta, ...]" = ()
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -95,6 +103,23 @@ class JobSpec:
             raise ValueError(
                 f"method must be one of {METHODS}, got {self.method!r}"
             )
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        if self.deltas:
+            if self.method != "dbtf":
+                raise ValueError(
+                    f"epoch deltas require method 'dbtf', got {self.method!r}"
+                )
+            for index, delta in enumerate(self.deltas):
+                if not isinstance(delta, TensorDelta):
+                    raise ValueError(
+                        f"deltas[{index}] must be a TensorDelta, "
+                        f"got {type(delta).__name__}"
+                    )
+                if tuple(delta.shape) != tuple(self.tensor.shape):
+                    raise ValueError(
+                        f"deltas[{index}] shape {tuple(delta.shape)} does "
+                        f"not match tensor shape {tuple(self.tensor.shape)}"
+                    )
         if self.rank <= 0:
             raise ValueError(f"rank must be positive, got {self.rank}")
         if self.max_iterations <= 0:
@@ -127,6 +152,10 @@ class JobSpec:
                 self.max_iterations,
                 self.n_initial_sets,
                 self.seed,
+                [
+                    [list(delta.shape), delta.added, delta.removed]
+                    for delta in self.deltas
+                ],
             )
         )
         return f"job-{fingerprint:016x}"

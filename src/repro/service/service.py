@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core import DbtfConfig, dbtf_steps
+from ..incremental import FactorizationSession
 from ..distengine import DEFAULT_CLUSTER, ClusterConfig, RuntimeFactory
 from ..nway import NwayCpConfig, cp_nway_steps
 from ..observability import MetricsRegistry
@@ -375,16 +376,44 @@ class FactorizationService:
                         cluster.memory_budget,
                         spill_dir=str(self._root / job.job_id / "spill"),
                     )
-                config = DbtfConfig(
-                    rank=spec.rank,
-                    max_iterations=spec.max_iterations,
-                    n_initial_sets=spec.n_initial_sets,
-                    seed=spec.seed,
-                    cluster=cluster,
-                    checkpoint=checkpoint,
-                )
                 job.lease = self.factory.lease(config=cluster)
-                job.generator = dbtf_steps(spec.tensor, config, job.lease.runtime)
+                if spec.deltas:
+                    # Epoch stream: one incremental session owns the whole
+                    # delta sequence, checkpointing each epoch into its own
+                    # subdirectory of the job's checkpoint dir (a delta
+                    # changes the tensor, hence the snapshot fingerprint)
+                    # and pruning stale epoch directories as it advances —
+                    # so a preempted or killed epochs job resumes from the
+                    # newest intact epoch instead of replaying the stream's
+                    # solver work from scratch.
+                    config = DbtfConfig(
+                        rank=spec.rank,
+                        max_iterations=spec.max_iterations,
+                        n_initial_sets=spec.n_initial_sets,
+                        seed=spec.seed,
+                        cluster=cluster,
+                    )
+                    session = FactorizationSession(
+                        spec.tensor,
+                        config,
+                        job.lease.runtime,
+                        checkpoint_root=self._root / job.job_id,
+                        checkpoint_every=self.config.checkpoint_every,
+                        keep_last=self.config.keep_last,
+                    )
+                    job.generator = session.steps(spec.deltas)
+                else:
+                    config = DbtfConfig(
+                        rank=spec.rank,
+                        max_iterations=spec.max_iterations,
+                        n_initial_sets=spec.n_initial_sets,
+                        seed=spec.seed,
+                        cluster=cluster,
+                        checkpoint=checkpoint,
+                    )
+                    job.generator = dbtf_steps(
+                        spec.tensor, config, job.lease.runtime
+                    )
             elif spec.method == "nway-cp":
                 config = NwayCpConfig(
                     rank=spec.rank,

@@ -15,6 +15,7 @@ from .io import (
     save_matrix,
     save_tensor,
 )
+from .delta import TensorDelta, load_delta, save_delta
 from .matricize import MODE_FACTOR_ROLES, Unfolding, fold, unfold
 from .packed import PackedUnfolding
 from .random import (
@@ -28,6 +29,9 @@ from .sparse import SparseBoolTensor
 
 __all__ = [
     "SparseBoolTensor",
+    "TensorDelta",
+    "save_delta",
+    "load_delta",
     "Unfolding",
     "PackedUnfolding",
     "MODE_FACTOR_ROLES",

@@ -1,0 +1,206 @@
+"""Epoch deltas for evolving Boolean tensors.
+
+A :class:`TensorDelta` is the canonical "what changed since last epoch"
+record: two sorted, deduplicated, disjoint sets of row-major flat cell
+indices — cells that turned 0→1 (``added``) and cells that turned 1→0
+(``removed``).  Flat indices rather than coordinate rows make the set
+algebra against :class:`~repro.tensor.sparse.SparseBoolTensor` (which
+already keys its own set operations on row-major flat indices) a single
+``np.isin``/``np.union1d`` pass, and make the wire/disk form compact.
+
+``save_delta``/``load_delta`` give deltas the same human-readable text
+format the rest of :mod:`repro.tensor.io` uses, so an evolving-tensor
+pipeline can spool one delta file per tick next to its tensor files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .sparse import SparseBoolTensor
+
+__all__ = ["TensorDelta", "save_delta", "load_delta"]
+
+
+def _canonical_flat(
+    values, shape: tuple[int, ...], what: str
+) -> np.ndarray:
+    """Validate, deduplicate, and sort one flat-index set."""
+    flat = np.asarray(
+        [] if values is None else values, dtype=np.int64
+    ).reshape(-1)
+    if flat.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    n_cells = int(np.prod(np.asarray(shape, dtype=np.int64)))
+    if (flat < 0).any() or (flat >= n_cells).any():
+        raise ValueError(
+            f"{what} flat indices out of bounds for shape {shape} "
+            f"({n_cells} cells)"
+        )
+    return np.unique(flat)
+
+
+class TensorDelta:
+    """An immutable set of cell flips between two same-shape Boolean tensors."""
+
+    __slots__ = ("shape", "added", "removed")
+
+    def __init__(self, shape: tuple[int, ...], added=None, removed=None):
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 0 for s in shape):
+            raise ValueError(f"invalid tensor shape {shape}")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "added", _canonical_flat(added, shape, "added"))
+        object.__setattr__(
+            self, "removed", _canonical_flat(removed, shape, "removed")
+        )
+        if np.intersect1d(self.added, self.removed).size:
+            raise ValueError("a cell cannot be both added and removed")
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TensorDelta is immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coords(
+        cls, shape: tuple[int, ...], added=None, removed=None
+    ) -> "TensorDelta":
+        """Build from ``(n, ndim)`` coordinate arrays instead of flat indices."""
+
+        def flatten(coords):
+            coords = np.asarray(
+                [] if coords is None else coords, dtype=np.int64
+            ).reshape(-1, len(shape))
+            if coords.size == 0:
+                return None
+            if (coords < 0).any() or (
+                coords >= np.asarray(shape, dtype=np.int64)[None, :]
+            ).any():
+                raise ValueError(f"coordinates out of bounds for shape {shape}")
+            return np.ravel_multi_index(coords.T, shape)
+
+        return cls(shape, flatten(added), flatten(removed))
+
+    @classmethod
+    def between(
+        cls, old: SparseBoolTensor, new: SparseBoolTensor
+    ) -> "TensorDelta":
+        """The delta that advances ``old`` to ``new`` (same shape required)."""
+        if old.shape != new.shape:
+            raise ValueError(f"shape mismatch: {old.shape} vs {new.shape}")
+        old_flat = old._flat_indices()
+        new_flat = new._flat_indices()
+        added = new_flat[~np.isin(new_flat, old_flat, assume_unique=True)]
+        removed = old_flat[~np.isin(old_flat, new_flat, assume_unique=True)]
+        return cls(old.shape, added, removed)
+
+    @classmethod
+    def empty(cls, shape: tuple[int, ...]) -> "TensorDelta":
+        return cls(shape)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_added(self) -> int:
+        return int(self.added.shape[0])
+
+    @property
+    def n_removed(self) -> int:
+        return int(self.removed.shape[0])
+
+    @property
+    def n_changes(self) -> int:
+        return self.n_added + self.n_removed
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_changes == 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.added.nbytes + self.removed.nbytes)
+
+    def added_coords(self) -> np.ndarray:
+        """Added cells as an ``(n_added, ndim)`` coordinate array."""
+        return np.stack(
+            np.unravel_index(self.added, self.shape), axis=1
+        ).astype(np.int64, copy=False)
+
+    def removed_coords(self) -> np.ndarray:
+        """Removed cells as an ``(n_removed, ndim)`` coordinate array."""
+        return np.stack(
+            np.unravel_index(self.removed, self.shape), axis=1
+        ).astype(np.int64, copy=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorDelta):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and bool(np.array_equal(self.added, other.added))
+            and bool(np.array_equal(self.removed, other.removed))
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.shape, self.added.tobytes(), self.removed.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorDelta(shape={self.shape}, "
+            f"+{self.n_added}/-{self.n_removed})"
+        )
+
+
+def save_delta(delta: TensorDelta, path: "str | os.PathLike") -> None:
+    """Write one delta as text: a shape header then ``+``/``-`` coordinate lines.
+
+    Format::
+
+        # delta I J K
+        + i j k
+        - i j k
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# delta " + " ".join(str(s) for s in delta.shape) + "\n")
+        for coordinate in delta.added_coords():
+            handle.write("+ " + " ".join(str(int(c)) for c in coordinate) + "\n")
+        for coordinate in delta.removed_coords():
+            handle.write("- " + " ".join(str(int(c)) for c in coordinate) + "\n")
+
+
+def load_delta(path: "str | os.PathLike") -> TensorDelta:
+    """Read a delta written by :func:`save_delta`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().split()
+        if header[:2] != ["#", "delta"] or len(header) < 3:
+            raise ValueError(f"{os.fspath(path)!r} is not a tensor delta file")
+        shape = tuple(int(s) for s in header[2:])
+        added, removed = [], []
+        for line_number, line in enumerate(handle, start=2):
+            fields = line.split()
+            if not fields:
+                continue
+            sign, coordinate = fields[0], fields[1:]
+            if sign not in ("+", "-") or len(coordinate) != len(shape):
+                raise ValueError(
+                    f"{os.fspath(path)!r} line {line_number}: expected "
+                    f"'+' or '-' followed by {len(shape)} indices, got {line!r}"
+                )
+            target = added if sign == "+" else removed
+            target.append([int(c) for c in coordinate])
+    return TensorDelta.from_coords(
+        shape,
+        np.asarray(added, dtype=np.int64).reshape(-1, len(shape)),
+        np.asarray(removed, dtype=np.int64).reshape(-1, len(shape)),
+    )

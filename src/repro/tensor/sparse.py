@@ -149,6 +149,43 @@ class SparseBoolTensor:
         """|X ⊕ Y| counting differing cells — the paper's error measure."""
         return self.xor(other).nnz
 
+    def apply_delta(self, delta) -> "SparseBoolTensor":
+        """The tensor one epoch later: ``delta.added`` on, ``delta.removed`` off.
+
+        Strict by design: removing an absent cell or adding a present one
+        means the delta was produced against a different base tensor, and an
+        incremental factorization advanced with it would silently diverge
+        from the from-scratch result — so both raise instead of saturating.
+        """
+        if tuple(delta.shape) != self.shape:
+            raise ValueError(
+                f"delta shape {tuple(delta.shape)} does not match tensor "
+                f"shape {self.shape}"
+            )
+        flats = self._flat_indices()
+        if delta.n_removed:
+            present = np.isin(delta.removed, flats, assume_unique=True)
+            if not present.all():
+                raise ValueError(
+                    f"delta removes {int((~present).sum())} cell(s) not "
+                    f"present in the tensor (delta built against a "
+                    f"different base?)"
+                )
+        if delta.n_added:
+            duplicate = np.isin(delta.added, flats, assume_unique=True)
+            if duplicate.any():
+                raise ValueError(
+                    f"delta adds {int(duplicate.sum())} cell(s) already "
+                    f"present in the tensor (delta built against a "
+                    f"different base?)"
+                )
+        kept = flats[~np.isin(flats, delta.removed, assume_unique=True)]
+        new_flats = np.union1d(kept, delta.added)
+        coords = np.stack(
+            np.unravel_index(new_flats, self.shape), axis=1
+        ).astype(np.int64, copy=False)
+        return SparseBoolTensor(self.shape, coords)
+
     # ------------------------------------------------------------------
     # Conversion / inspection
     # ------------------------------------------------------------------

@@ -10,7 +10,10 @@ from repro.datasets import (
     from_timestamped_edges,
     from_triple_file,
     from_triples,
+    to_matrix_market,
+    to_slice_files,
 )
+from repro.tensor import SparseBoolTensor
 
 
 class TestFromTriples:
@@ -362,3 +365,58 @@ class TestFromSliceFiles:
         result = dbtf(tensor, rank=2, seed=0, n_partitions=2,
                       max_iterations=2)
         assert result.error <= tensor.nnz
+
+
+class TestMatrixMarketWriters:
+    def _random_tensor(self, seed, shape, density=0.25):
+        rng = np.random.default_rng(seed)
+        return SparseBoolTensor.from_dense(
+            (rng.random(shape) < density).astype(np.uint8)
+        )
+
+    def test_two_way_round_trip(self, tmp_path):
+        tensor = self._random_tensor(0, (7, 9))
+        path = tmp_path / "matrix.mtx"
+        to_matrix_market(tensor, path)
+        assert from_matrix_market(path) == tensor
+
+    def test_empty_matrix_round_trip(self, tmp_path):
+        tensor = SparseBoolTensor.empty((4, 6))
+        path = tmp_path / "empty.mtx"
+        to_matrix_market(tensor, path)
+        restored = from_matrix_market(path)
+        assert restored == tensor
+        assert restored.shape == (4, 6)
+
+    def test_header_is_pattern_general(self, tmp_path):
+        tensor = self._random_tensor(1, (3, 3))
+        path = tmp_path / "matrix.mtx"
+        to_matrix_market(tensor, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "%%MatrixMarket matrix coordinate pattern general"
+
+    def test_three_way_tensor_rejected(self, tmp_path):
+        tensor = self._random_tensor(2, (3, 3, 3))
+        with pytest.raises(ValueError, match="two-way"):
+            to_matrix_market(tensor, tmp_path / "bad.mtx")
+
+    def test_slice_files_round_trip(self, tmp_path):
+        tensor = self._random_tensor(3, (6, 5, 4))
+        paths = to_slice_files(tensor, tmp_path / "slices")
+        assert len(paths) == tensor.shape[2]
+        assert from_slice_files(paths) == tensor
+
+    def test_empty_slices_preserved(self, tmp_path):
+        # Only slice 0 is populated; slices 1-2 must still be written so
+        # the slice count carries mode 2's dimension.
+        tensor = SparseBoolTensor(
+            (3, 3, 3), np.array([(0, 0, 0), (1, 2, 0)], dtype=np.int64)
+        )
+        paths = to_slice_files(tensor, tmp_path / "slices")
+        assert len(paths) == 3
+        assert from_slice_files(paths) == tensor
+
+    def test_two_way_tensor_rejected_by_slice_writer(self, tmp_path):
+        tensor = self._random_tensor(4, (3, 3))
+        with pytest.raises(ValueError, match="three-way"):
+            to_slice_files(tensor, tmp_path / "slices")

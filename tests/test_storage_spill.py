@@ -178,7 +178,12 @@ class TestBudgetedFactorization:
         assert result.report.spill_bytes > 0
         assert baseline.report.spill_bytes == 0
         # Spill I/O must not inflate the shuffle/broadcast byte totals.
-        assert result.report.network_bytes == baseline.report.network_bytes
+        # (The budget path routes unfoldings through the memmap store, so
+        # its task payloads differ from the coordinate-shuffle path; the
+        # wire charges for the data itself must still match exactly.)
+        assert result.report.shuffle_bytes == baseline.report.shuffle_bytes
+        assert result.report.broadcast_bytes == baseline.report.broadcast_bytes
+        assert result.report.task_bytes <= baseline.report.task_bytes
 
     def test_spill_time_charged_at_disk_bandwidth(self):
         # simulated_time itself folds in host-measured task durations, so

@@ -1,0 +1,159 @@
+"""Unit tests for TensorDelta and SparseBoolTensor.apply_delta."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    SparseBoolTensor,
+    TensorDelta,
+    load_delta,
+    save_delta,
+)
+
+SHAPE = (4, 5, 6)
+
+
+def _tensor_pair(seed, density=0.2):
+    """Two random tensors of SHAPE drawn from the same distribution."""
+    rng = np.random.default_rng(seed)
+    old = SparseBoolTensor.from_dense(
+        (rng.random(SHAPE) < density).astype(np.uint8)
+    )
+    new = SparseBoolTensor.from_dense(
+        (rng.random(SHAPE) < density).astype(np.uint8)
+    )
+    return old, new
+
+
+class TestConstruction:
+    def test_empty(self):
+        delta = TensorDelta.empty(SHAPE)
+        assert delta.is_empty
+        assert delta.n_added == delta.n_removed == delta.n_changes == 0
+        assert delta.shape == SHAPE
+
+    def test_from_coords(self):
+        delta = TensorDelta.from_coords(
+            SHAPE, added=[(0, 0, 0), (1, 2, 3)], removed=[(3, 4, 5)]
+        )
+        assert delta.n_added == 2
+        assert delta.n_removed == 1
+        np.testing.assert_array_equal(
+            delta.added_coords(), [[0, 0, 0], [1, 2, 3]]
+        )
+        np.testing.assert_array_equal(delta.removed_coords(), [[3, 4, 5]])
+
+    def test_duplicates_collapse(self):
+        delta = TensorDelta.from_coords(
+            SHAPE, added=[(0, 0, 0), (0, 0, 0)], removed=[]
+        )
+        assert delta.n_added == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TensorDelta.from_coords(SHAPE, added=[(4, 0, 0)], removed=[])
+
+    def test_overlapping_add_remove_rejected(self):
+        with pytest.raises(ValueError, match="both added and removed"):
+            TensorDelta.from_coords(
+                SHAPE, added=[(1, 1, 1)], removed=[(1, 1, 1)]
+            )
+
+    def test_immutable(self):
+        delta = TensorDelta.empty(SHAPE)
+        with pytest.raises(AttributeError):
+            delta.shape = (1, 1, 1)
+
+    def test_equality_and_hash(self):
+        a = TensorDelta.from_coords(SHAPE, added=[(0, 1, 2)], removed=[])
+        b = TensorDelta.from_coords(SHAPE, added=[(0, 1, 2)], removed=[])
+        c = TensorDelta.from_coords(SHAPE, added=[(0, 1, 3)], removed=[])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestBetween:
+    def test_between_recovers_difference(self):
+        old, new = _tensor_pair(seed=0)
+        delta = TensorDelta.between(old, new)
+        assert old.apply_delta(delta) == new
+
+    def test_between_identical_is_empty(self):
+        old, _ = _tensor_pair(seed=1)
+        assert TensorDelta.between(old, old).is_empty
+
+    def test_between_shape_mismatch(self):
+        old, _ = _tensor_pair(seed=2)
+        other = SparseBoolTensor.empty((2, 2, 2))
+        with pytest.raises(ValueError):
+            TensorDelta.between(old, other)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_between_then_apply_round_trips(self, seed):
+        old, new = _tensor_pair(seed)
+        delta = TensorDelta.between(old, new)
+        assert old.apply_delta(delta) == new
+        assert delta.n_changes == old.hamming_distance(new)
+
+
+class TestApplyDelta:
+    def test_apply_empty_is_identity(self):
+        old, _ = _tensor_pair(seed=3)
+        assert old.apply_delta(TensorDelta.empty(SHAPE)) == old
+
+    def test_add_present_cell_rejected(self):
+        old, _ = _tensor_pair(seed=4)
+        cell = tuple(int(x) for x in old.coords[0])
+        delta = TensorDelta.from_coords(SHAPE, added=[cell], removed=[])
+        with pytest.raises(ValueError, match="different base"):
+            old.apply_delta(delta)
+
+    def test_remove_absent_cell_rejected(self):
+        old, _ = _tensor_pair(seed=5)
+        present = {tuple(int(x) for x in c) for c in old.coords}
+        absent = next(
+            (i, j, k)
+            for i in range(SHAPE[0])
+            for j in range(SHAPE[1])
+            for k in range(SHAPE[2])
+            if (i, j, k) not in present
+        )
+        delta = TensorDelta.from_coords(SHAPE, added=[], removed=[absent])
+        with pytest.raises(ValueError, match="different base"):
+            old.apply_delta(delta)
+
+    def test_shape_mismatch_rejected(self):
+        old, _ = _tensor_pair(seed=6)
+        delta = TensorDelta.empty((2, 2, 2))
+        with pytest.raises(ValueError):
+            old.apply_delta(delta)
+
+
+class TestDeltaIO:
+    def test_save_load_round_trip(self, tmp_path):
+        old, new = _tensor_pair(seed=7)
+        delta = TensorDelta.between(old, new)
+        path = tmp_path / "changes.delta"
+        save_delta(delta, path)
+        assert load_delta(path) == delta
+
+    def test_empty_round_trip(self, tmp_path):
+        path = tmp_path / "empty.delta"
+        save_delta(TensorDelta.empty(SHAPE), path)
+        assert load_delta(path) == TensorDelta.empty(SHAPE)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.delta"
+        path.write_text("# delta 4 5 6\n? 0 0 0\n")
+        with pytest.raises(ValueError):
+            load_delta(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.delta"
+        path.write_text("+ 0 0 0\n")
+        with pytest.raises(ValueError):
+            load_delta(path)
