@@ -24,6 +24,11 @@ from repro.bitops import (
     packing,
     pointwise_vector_matrix,
 )
+from repro.distengine import (
+    estimate_bytes,
+    estimate_bytes_cached,
+    estimate_pair_bytes,
+)
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +127,34 @@ def test_masks_with_bit_cleared(benchmark):
     assert benchmark(sweep) == reference
 
 
+@pytest.fixture(scope="module")
+def keyed_pairs():
+    rng = np.random.default_rng(7)
+    return [(i, rng.integers(0, 2, 16, dtype=np.int64)) for i in range(4096)]
+
+
+def test_estimate_pair_bytes_batched(benchmark, keyed_pairs):
+    """Batched shuffle sizing vs the per-pair estimate_bytes loop."""
+    total = benchmark(lambda: estimate_pair_bytes(keyed_pairs))
+    assert total == sum(
+        estimate_bytes(key) + estimate_bytes(value)
+        for key, value in keyed_pairs
+    )
+
+
+def test_estimate_bytes_cached_hit(benchmark):
+    """Memoized payload sizing: repeat calls skip the recursive walk."""
+
+    class Payload:
+        def __init__(self):
+            self.words = np.zeros((512, 64), dtype=np.uint64)
+            self.meta = {"rows": 512, "name": "factor"}
+
+    payload = Payload()
+    expected = estimate_bytes_cached(payload)  # prime the memo
+    assert benchmark(lambda: estimate_bytes_cached(payload)) == expected
+
+
 def main(argv=None) -> int:
     """Time every kernel implementation and write ``BENCH_kernels.json``.
 
@@ -179,6 +212,15 @@ def main(argv=None) -> int:
     kr_right = BitMatrix.random(64, 64, 0.3, rng)
     pw_matrix = BitMatrix.random(4096, 64, 0.3, rng)
     pw_vector = (rng.random(64) < 0.5).astype(np.uint8)
+    pairs = [(i, rng.integers(0, 2, 16, dtype=np.int64)) for i in range(4096)]
+
+    class _Payload:
+        def __init__(self):
+            self.words = np.zeros((512, 64), dtype=np.uint64)
+            self.meta = {"rows": 512, "name": "factor"}
+
+    payload = _Payload()
+    estimate_bytes_cached(payload)  # prime the memo before timing
 
     # Warm the autotune cache over the registered grids, then time the
     # dispatched matmul under the auto tier (cache hits only, no measuring
@@ -223,6 +265,15 @@ def main(argv=None) -> int:
          lambda: packing.slice_bits(packed, 100, 3000)),
         ("masks_bit_cleared", {"rows": 262144, "columns": 64},
          lambda: _mask_sweep()),
+        ("sizing_per_pair_loop", {"pairs": len(pairs)},
+         lambda: sum(estimate_bytes(k) + estimate_bytes(v)
+                     for k, v in pairs)),
+        ("sizing_batched_pairs", {"pairs": len(pairs)},
+         lambda: estimate_pair_bytes(pairs)),
+        ("sizing_payload_walk", {"attrs": 2},
+         lambda: estimate_bytes(payload)),
+        ("sizing_payload_cached", {"attrs": 2},
+         lambda: estimate_bytes_cached(payload)),
     ]
     entries = [
         entry(name, params, best_wall_time(fn, repeats)[0])
@@ -246,6 +297,14 @@ def main(argv=None) -> int:
             raise SystemExit(
                 f"{label} only {speedup:.2f}x faster than {slow}; expected >= 3x"
             )
+    for label, slow, fast in [
+        ("batched pair sizing", "sizing_per_pair_loop",
+         "sizing_batched_pairs"),
+        ("memoized payload sizing", "sizing_payload_walk",
+         "sizing_payload_cached"),
+    ]:
+        print(f"{label} speedup: {by_name[slow] / by_name[fast]:.2f}x "
+              f"({slow} -> {fast})")
     print(f"autotune cache: {cache_path} "
           f"(winner at (256,64,1024): {auto_winner})")
     emit("BENCH_kernels.json", entries)

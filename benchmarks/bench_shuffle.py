@@ -1,0 +1,299 @@
+"""Acceptance gate for the worker-side bucketed shuffle plane.
+
+Four contracts, asserted before BENCH_shuffle.json is written:
+
+* **Routing cost** — at 8 partitions, the driver-side routing CPU of the
+  worker-bucketed path (splicing whole buckets, O(partitions)) must be at
+  least 3x below the legacy per-pair loop (a ``stable_hash`` plus a
+  recursive size estimate for every (key, combiner) pair), measured by the
+  ``shuffle_routing_seconds_total`` counter both paths report.
+* **Byte parity** — the SHUFFLE ledger charge and the per-bucket byte
+  split of the worker path must equal the legacy per-pair accounting
+  exactly.
+* **Spill under pressure** — with the memory budget set to half the
+  probed combine working set (so working set >= 2x budget), map tasks
+  must spill runs (``shuffle_spill_total > 0``) and the merged results
+  must stay bit-identical.
+* **End-to-end bit-identity** — DBTF factors and error traces are
+  identical across serial/thread/process on both routing paths, with and
+  without a budget.
+
+Usage::
+
+    python benchmarks/bench_shuffle.py            # full workload
+    python benchmarks/bench_shuffle.py --smoke    # CI-sized quick run
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from _emit import emit, entry
+
+from repro.core import dbtf
+from repro.distengine import ClusterConfig, SimulatedRuntime, TransferKind
+from repro.storage import format_size
+from repro.tensor import planted_tensor
+
+#: Probe budget large enough that nothing ever spills.
+UNLIMITED = 1 << 50
+
+ROUTING_FLOOR = 3.0
+
+
+def _copy(value):
+    return value.copy()
+
+
+def _add(left, right):
+    return left + right
+
+
+def _keyed_data(n_pairs: int):
+    """Many distinct keys with ndarray combiners: the per-pair worst case."""
+    n_keys = max(1, n_pairs // 4)
+    return [
+        (i % n_keys, np.arange(8, dtype=np.int64) + i) for i in range(n_pairs)
+    ]
+
+
+def _combine_run(
+    data,
+    n_partitions: int,
+    worker_shuffle: bool,
+    backend: str = "serial",
+    memory_budget: "int | None" = None,
+):
+    """One combine_by_key pass; returns routing/byte/spill facts."""
+    runtime = SimulatedRuntime(
+        ClusterConfig(
+            n_machines=2, cores_per_machine=4, backend=backend, n_workers=2,
+            worker_shuffle=worker_shuffle, memory_budget=memory_budget,
+        )
+    )
+    try:
+        rdd = runtime.parallelize(data, n_partitions=n_partitions, name="kv")
+        import time
+
+        started = time.perf_counter()
+        partitions = rdd.combine_by_key(_copy, _add, _add).glom()
+        wall_s = time.perf_counter() - started
+        counters = runtime.metrics.counters()
+        return {
+            "wall_s": wall_s,
+            "simulated_s": runtime.simulated_time(),
+            "fingerprint": tuple(
+                tuple((key, value.tobytes()) for key, value in partition)
+                for partition in partitions
+            ),
+            "routing_s": runtime.metrics.value(
+                "shuffle_routing_seconds_total", stage="kv.combineByKey"
+            ),
+            "shuffle_bytes": runtime.ledger.bytes_of_kind(
+                TransferKind.SHUFFLE
+            ),
+            "spill_bytes": runtime.ledger.bytes_of_kind(TransferKind.SPILL),
+            "spill_runs": int(
+                sum(counters.get("shuffle_spill_total", {}).values())
+            ),
+            "bucket_split": _bucket_split(runtime),
+        }
+    finally:
+        runtime.close()
+
+
+def _bucket_split(runtime):
+    """Per-bucket byte totals from the shuffle_bucket_bytes histogram."""
+    for name, labels, kind, snapshot in runtime.metrics.collect():
+        if name == "shuffle_bucket_bytes" and kind == "histogram":
+            return (snapshot["count"], snapshot["sum"], snapshot["min"],
+                    snapshot["max"], tuple(snapshot["buckets"].values()))
+    return None
+
+
+def _best_routing(data, n_partitions, worker_shuffle, repeats):
+    """Minimum routing seconds over ``repeats`` fresh runs."""
+    runs = [
+        _combine_run(data, n_partitions, worker_shuffle)
+        for _ in range(repeats)
+    ]
+    best = min(runs, key=lambda run: run["routing_s"])
+    return best
+
+
+def _dbtf_fingerprint(tensor, rank, iterations, partitions, backend,
+                      worker_shuffle, memory_budget):
+    runtime = SimulatedRuntime(
+        ClusterConfig(
+            n_machines=2, cores_per_machine=2, backend=backend, n_workers=2,
+            worker_shuffle=worker_shuffle, memory_budget=memory_budget,
+        )
+    )
+    try:
+        import time
+
+        started = time.perf_counter()
+        result = dbtf(
+            tensor, rank=rank, seed=0, max_iterations=iterations,
+            n_partitions=partitions, runtime=runtime,
+        )
+        wall_s = time.perf_counter() - started
+        fingerprint = (
+            tuple(factor.words.tobytes() for factor in result.factors),
+            result.errors_per_iteration,
+        )
+        return wall_s, result.report.simulated_time, fingerprint
+    finally:
+        runtime.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=40_000,
+                        help="keyed pairs in the routing workload")
+    parser.add_argument("--partitions", type=int, default=8,
+                        help="source and target partition count (default 8)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N for the routing measurement")
+    parser.add_argument("--dim", type=int, default=24,
+                        help="cube side of the DBTF bit-identity check")
+    parser.add_argument("--rank", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--backends", nargs="+",
+                        default=["serial", "thread", "process"],
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized quick run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.pairs, args.repeats = 8_000, 2
+        args.dim, args.rank = 16, 2
+
+    data = _keyed_data(args.pairs)
+    print(f"routing workload : {args.pairs} pairs, "
+          f"{max(1, args.pairs // 4)} keys, {args.partitions} partitions")
+
+    failures: list[str] = []
+
+    # -- routing cost: worker-bucketed vs legacy per-pair ----------------
+    worker = _best_routing(data, args.partitions, True, args.repeats)
+    legacy = _best_routing(data, args.partitions, False, args.repeats)
+    ratio = legacy["routing_s"] / max(worker["routing_s"], 1e-9)
+    print(f"driver routing   : legacy {legacy['routing_s'] * 1e3:.2f} ms, "
+          f"worker {worker['routing_s'] * 1e3:.2f} ms  ({ratio:.1f}x less)")
+    if ratio < ROUTING_FLOOR:
+        failures.append(
+            f"routing-cost floor missed: {ratio:.2f}x < {ROUTING_FLOOR}x"
+        )
+
+    # -- byte parity: ledger charge and per-bucket split -----------------
+    if worker["shuffle_bytes"] != legacy["shuffle_bytes"]:
+        failures.append(
+            f"SHUFFLE ledger parity broken: worker {worker['shuffle_bytes']} "
+            f"!= legacy {legacy['shuffle_bytes']}"
+        )
+    if worker["bucket_split"] != legacy["bucket_split"]:
+        failures.append("per-bucket byte split differs between paths")
+    if worker["fingerprint"] != legacy["fingerprint"]:
+        failures.append("combine results differ between routing paths")
+    print(f"byte parity      : {worker['shuffle_bytes']} shuffle bytes on "
+          f"both paths, per-bucket split identical")
+
+    # -- spill under pressure: budget = probed working set / 2 -----------
+    probe = _combine_run(data, args.partitions, True, memory_budget=UNLIMITED)
+    if probe["spill_runs"]:
+        failures.append("probe budget must never spill")
+    working_set = probe["shuffle_bytes"]
+    budget_bytes = max(working_set // 2, 1)
+    print(f"combine working set {format_size(working_set)}, budget "
+          f"{format_size(budget_bytes)} "
+          f"(pressure {working_set / budget_bytes:.1f}x)")
+    spilled = {
+        backend: _combine_run(
+            data, args.partitions, True, backend=backend,
+            memory_budget=budget_bytes,
+        )
+        for backend in args.backends
+    }
+    for backend, stats in spilled.items():
+        if stats["spill_runs"] <= 0:
+            failures.append(f"{backend}: no spill runs under 2x pressure")
+        if stats["fingerprint"] != worker["fingerprint"]:
+            failures.append(f"{backend}: budgeted combine results differ")
+        print(f"spill [{backend:<8}]: {stats['spill_runs']} runs, "
+              f"{format_size(stats['spill_bytes'])} spill I/O, "
+              f"bit-identical "
+              f"{stats['fingerprint'] == worker['fingerprint']}")
+
+    # -- DBTF end-to-end bit-identity across backends and paths ----------
+    tensor, _ = planted_tensor(
+        (args.dim,) * 3, rank=args.rank, factor_density=0.2,
+        rng=np.random.default_rng(7),
+    )
+    dbtf_entries = []
+    reference = None
+    for worker_shuffle in (True, False):
+        for memory_budget in (None, 1 << 20):
+            for backend in args.backends:
+                wall_s, simulated_s, fingerprint = _dbtf_fingerprint(
+                    tensor, args.rank, args.iterations, 3, backend,
+                    worker_shuffle, memory_budget,
+                )
+                if reference is None:
+                    reference = fingerprint
+                elif fingerprint != reference:
+                    failures.append(
+                        f"dbtf results differ: backend={backend} "
+                        f"worker_shuffle={worker_shuffle} "
+                        f"budget={memory_budget}"
+                    )
+                dbtf_entries.append(
+                    entry(
+                        "shuffle_dbtf_identity",
+                        {"backend": backend,
+                         "worker_shuffle": worker_shuffle,
+                         "budgeted": memory_budget is not None,
+                         "dim": args.dim, "rank": args.rank},
+                        wall_s, simulated_s,
+                    )
+                )
+    print(f"dbtf identity    : {len(dbtf_entries)} runs "
+          f"({'all identical' if reference is not None and not failures else 'CHECK FAILURES'})")
+
+    entries = [
+        entry("shuffle_routing_worker",
+              {"pairs": args.pairs, "partitions": args.partitions,
+               "routing_s": worker["routing_s"],
+               "shuffle_bytes": int(worker["shuffle_bytes"])},
+              worker["wall_s"], worker["simulated_s"]),
+        entry("shuffle_routing_driver",
+              {"pairs": args.pairs, "partitions": args.partitions,
+               "routing_s": legacy["routing_s"],
+               "shuffle_bytes": int(legacy["shuffle_bytes"]),
+               "routing_ratio": ratio, "floor": ROUTING_FLOOR},
+              legacy["wall_s"], legacy["simulated_s"]),
+    ]
+    for backend, stats in spilled.items():
+        entries.append(
+            entry(f"shuffle_spill_{backend}",
+                  {"pairs": args.pairs, "partitions": args.partitions,
+                   "budget_bytes": int(budget_bytes),
+                   "spill_runs": stats["spill_runs"],
+                   "spill_bytes": int(stats["spill_bytes"])},
+                  stats["wall_s"], stats["simulated_s"])
+        )
+    entries.extend(dbtf_entries)
+    emit("BENCH_shuffle.json", entries)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"routing {ratio:.1f}x cheaper, bytes identical, spill active "
+          f"under pressure, dbtf bit-identical everywhere")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

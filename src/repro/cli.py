@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable stage fusion (legacy stage-per-"
                                 "transformation dispatch; dbtf only, "
                                 "results are identical)")
+    factorize.add_argument("--driver-shuffle", action="store_true",
+                           help="route combine_by_key shuffles through the "
+                                "legacy driver-side per-pair loop instead "
+                                "of the worker-side bucketed plane (dbtf "
+                                "only, results are identical)")
     factorize.add_argument("--kernel-tier", default=None, metavar="TIER",
                            help="kernel-dispatch tier: fixed (heuristics, "
                                 "the default), auto (autotune + cache), "
@@ -361,6 +366,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
             eager=args.eager,
             memory_budget=memory_budget,
             spill_dir=args.spill_dir,
+            worker_shuffle=False if args.driver_shuffle else None,
         )
         with FactorizationSession(
             tensor,
@@ -401,6 +407,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 eager=args.eager,
                 memory_budget=memory_budget,
                 spill_dir=args.spill_dir,
+                worker_shuffle=False if args.driver_shuffle else None,
             )
             context = SimulatedRuntime(probe.resolved_cluster())
         with context as runtime:
@@ -417,6 +424,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
                 checkpoint=checkpoint,
                 memory_budget=memory_budget,
                 spill_dir=args.spill_dir,
+                worker_shuffle=False if args.driver_shuffle else None,
                 runtime=runtime,
             )
             if runtime is not None:

@@ -89,6 +89,11 @@ class DbtfConfig:
     spill_dir:
         Parent directory for storage-tier spill files.  ``None`` (default)
         defers to ``cluster.spill_dir``.
+    worker_shuffle:
+        ``False`` routes ``combine_by_key`` shuffles through the legacy
+        driver-side per-pair loop instead of the worker-side bucketed
+        plane (A/B lever; results and shuffle bytes are identical).
+        ``None`` (default) defers to ``cluster.worker_shuffle``.
     """
 
     rank: int
@@ -108,6 +113,7 @@ class DbtfConfig:
     checkpoint: CheckpointConfig | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    worker_shuffle: bool | None = None
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -166,6 +172,7 @@ class DbtfConfig:
             and not self.eager
             and self.memory_budget is None
             and self.spill_dir is None
+            and self.worker_shuffle is None
         ):
             return self.cluster
         return replace(
@@ -183,5 +190,9 @@ class DbtfConfig:
             spill_dir=(
                 self.spill_dir if self.spill_dir is not None
                 else self.cluster.spill_dir
+            ),
+            worker_shuffle=(
+                self.worker_shuffle if self.worker_shuffle is not None
+                else self.cluster.worker_shuffle
             ),
         )

@@ -15,10 +15,17 @@ from .cluster import DEFAULT_CLUSTER, ClusterConfig
 from .faults import FaultInjector, InjectedTaskFailure, TaskFailedError
 from .lease import RuntimeFactory, RuntimeLease
 from .plan import FusedChainTask, LogicalPlan, PhysicalStage, PlanNode, PlanOptimizer
-from .rdd import Distributed
+from .rdd import Distributed, ShuffleMapOutput
 from .runtime import ExecutionReport, SimulatedRuntime, StageReport
 from .scheduler import assign_tasks, makespan
-from .shuffle import ShuffleLedger, TransferKind, estimate_bytes, stable_hash
+from .shuffle import (
+    ShuffleLedger,
+    TransferKind,
+    estimate_bytes,
+    estimate_bytes_cached,
+    estimate_pair_bytes,
+    stable_hash,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -35,6 +42,7 @@ __all__ = [
     "ClusterConfig",
     "DEFAULT_CLUSTER",
     "Distributed",
+    "ShuffleMapOutput",
     "LogicalPlan",
     "PlanNode",
     "PlanOptimizer",
@@ -48,6 +56,8 @@ __all__ = [
     "ShuffleLedger",
     "TransferKind",
     "estimate_bytes",
+    "estimate_bytes_cached",
+    "estimate_pair_bytes",
     "stable_hash",
     "makespan",
     "assign_tasks",

@@ -111,6 +111,18 @@ class ClusterConfig:
         Parent directory for the storage tier's spill files (a unique
         subdirectory is created inside it per runtime).  ``None`` uses the
         system temp dir.  Only meaningful with ``memory_budget`` set.
+    worker_shuffle:
+        ``True`` (the default) routes ``combine_by_key`` through the
+        worker-side shuffle plane: each map task buckets its partial
+        combiners by destination partition *inside the worker* and returns
+        per-bucket payloads with byte totals pre-measured, so the driver
+        does O(partitions) routing instead of touching every pair — and,
+        under ``memory_budget``, oversized combiner state spills sorted
+        runs to disk instead of accumulating unbounded.  ``False``
+        restores the legacy driver-side per-pair routing loop for A/B
+        measurement (``benchmarks/bench_shuffle.py``); results, metered
+        shuffle bytes, and per-bucket observability are identical either
+        way.
     """
 
     n_machines: int = 16
@@ -133,6 +145,7 @@ class ClusterConfig:
     autotune_cache: str | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    worker_shuffle: bool = True
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0:
@@ -204,6 +217,10 @@ class ClusterConfig:
     ) -> "ClusterConfig":
         """The same cluster with the out-of-core storage tier configured."""
         return replace(self, memory_budget=memory_budget, spill_dir=spill_dir)
+
+    def with_worker_shuffle(self, worker_shuffle: bool = True) -> "ClusterConfig":
+        """The same cluster with worker-side shuffle routing toggled."""
+        return replace(self, worker_shuffle=worker_shuffle)
 
     def with_kernel_tier(
         self, kernel_tier: str | None, autotune_cache: str | None = None

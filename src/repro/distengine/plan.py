@@ -46,6 +46,7 @@ _OP_LABELS = {
     "mapPartitions": "mapPartitions",
     "mapPartitionsWithIndex": "mapPartitionsWithIndex",
     "combineByKey.map": "combineByKey.map",
+    "combineByKey.bucket": "combineByKey.bucket",
 }
 
 

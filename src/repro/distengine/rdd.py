@@ -30,13 +30,24 @@ user-supplied functions are themselves picklable).
 
 from __future__ import annotations
 
+import os
+import time
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from ..storage.shuffle_spill import ShuffleSpillWriter, read_bucket
 from .plan import LogicalPlan, PlanNode
-from .shuffle import TransferKind, estimate_bytes, stable_hash
+from .shuffle import (
+    TransferKind,
+    estimate_bytes,
+    estimate_pair_bytes,
+    stable_hash,
+)
 
-__all__ = ["Distributed"]
+__all__ = ["Distributed", "ShuffleMapOutput"]
+
+#: Sentinel distinguishing "key absent" from a ``None`` combiner.
+_MISSING = object()
 
 
 class _ElementTask:
@@ -75,28 +86,122 @@ class _PartitionTask:
         return self.fn(items)
 
 
+class ShuffleMapOutput:
+    """One map task's bucketed shuffle output (worker-side routing).
+
+    ``buckets[b]`` holds the in-memory ``(key, combiner)`` pairs destined
+    for reduce partition ``b`` in insertion order, ``bucket_bytes[b]`` their
+    pre-measured wire size, and ``runs`` the metadata of any spilled runs
+    (oldest first) — everything the driver needs to route whole buckets
+    without touching a single pair.
+    """
+
+    __slots__ = ("buckets", "bucket_bytes", "runs")
+
+    def __init__(
+        self,
+        buckets: "list[list[tuple]]",
+        bucket_bytes: "list[int]",
+        runs: list,
+    ):
+        self.buckets = buckets
+        self.bucket_bytes = bucket_bytes
+        self.runs = runs
+
+
 class _CombineMapTask:
     """Map-side of ``combine_by_key``: pre-combine values within a partition.
 
-    Returns a single-element partition holding the ``key -> combiner`` dict,
-    so the pre-combined data flows back through the stage seam like any
-    other task result.
+    In legacy (driver-routed) mode — ``target_count=None`` — it returns a
+    single-element partition holding the ``key -> combiner`` dict, so the
+    pre-combined data flows back through the stage seam like any other task
+    result.  With ``target_count`` set (the worker-side shuffle plane) the
+    task buckets combiners by ``stable_hash(key) % target_count`` *as it
+    builds them* and returns a :class:`ShuffleMapOutput`: per-bucket pair
+    lists in insertion order with their wire bytes batch-measured inside
+    the worker.
+
+    With ``spill_threshold`` set (a per-task share of the cluster's memory
+    budget), the running combiner-state estimate is tracked incrementally;
+    crossing the threshold writes the entire current bucket set as one
+    sorted run (bucket-index order, insertion order within buckets) through
+    :class:`~repro.storage.ShuffleSpillWriter` and starts over empty — so
+    combine state under process pools is bounded by the budget share, and
+    the reduce side re-merges runs bit-identically.
     """
 
-    __slots__ = ("create_combiner", "merge_value")
+    __slots__ = (
+        "create_combiner", "merge_value", "target_count", "spill_dir",
+        "spill_threshold", "shuffle_id",
+    )
 
-    def __init__(self, create_combiner, merge_value):
+    def __init__(
+        self,
+        create_combiner,
+        merge_value,
+        target_count: "int | None" = None,
+        spill_dir: "str | None" = None,
+        spill_threshold: "int | None" = None,
+        shuffle_id: int = 0,
+    ):
         self.create_combiner = create_combiner
         self.merge_value = merge_value
+        self.target_count = target_count
+        self.spill_dir = spill_dir
+        self.spill_threshold = spill_threshold
+        self.shuffle_id = shuffle_id
 
-    def __call__(self, _index: int, items: list[Any]) -> list[dict]:
-        combiners: dict[Any, Any] = {}
+    def __call__(self, index: int, items: list[Any]) -> list:
+        if self.target_count is None:
+            combiners: dict[Any, Any] = {}
+            for key, value in items:
+                if key in combiners:
+                    combiners[key] = self.merge_value(combiners[key], value)
+                else:
+                    combiners[key] = self.create_combiner(value)
+            return [combiners]
+        return [self._bucketed(index, items)]
+
+    def _bucketed(self, index: int, items: list[Any]) -> ShuffleMapOutput:
+        target = self.target_count
+        threshold = self.spill_threshold
+        buckets: list[dict[Any, Any]] = [{} for _ in range(target)]
+        runs: list = []
+        writer: "ShuffleSpillWriter | None" = None
+        tracked = 0
         for key, value in items:
-            if key in combiners:
-                combiners[key] = self.merge_value(combiners[key], value)
+            bucket = buckets[stable_hash(key) % target]
+            old = bucket.get(key, _MISSING)
+            if old is _MISSING:
+                combiner = self.create_combiner(value)
+                if threshold is not None:
+                    tracked += estimate_bytes(key) + estimate_bytes(combiner)
             else:
-                combiners[key] = self.create_combiner(value)
-        return [combiners]
+                # Measure the old combiner *before* merging so in-place
+                # merge functions still report their growth.
+                if threshold is not None:
+                    tracked -= estimate_bytes(old)
+                combiner = self.merge_value(old, value)
+                if threshold is not None:
+                    tracked += estimate_bytes(combiner)
+            bucket[key] = combiner
+            if threshold is not None and tracked > threshold:
+                if writer is None:
+                    writer = ShuffleSpillWriter(
+                        self.spill_dir, self.shuffle_id, index
+                    )
+                runs.append(
+                    writer.write_run(
+                        [list(b.items()) for b in buckets],
+                        [estimate_pair_bytes(b.items()) for b in buckets],
+                    )
+                )
+                buckets = [{} for _ in range(target)]
+                tracked = 0
+        mem = [list(b.items()) for b in buckets]
+        return ShuffleMapOutput(
+            mem, [estimate_pair_bytes(pairs) for pairs in mem], runs
+        )
 
 
 class _CombineReduceTask:
@@ -114,6 +219,47 @@ class _CombineReduceTask:
                 bucket[key] = self.merge_combiners(bucket[key], combiner)
             else:
                 bucket[key] = combiner
+        return list(bucket.items())
+
+
+class _SpillSegment:
+    """Reduce-side reference to one bucket's blob inside a spill run."""
+
+    __slots__ = ("path", "offset", "length")
+
+    def __init__(self, path: str, offset: int, length: int):
+        self.path = path
+        self.offset = offset
+        self.length = length
+
+    def load(self) -> list[tuple]:
+        return read_bucket(self.path, self.offset, self.length)
+
+
+class _ShuffleReduceTask:
+    """Reduce-side of the worker shuffle: merge one bucket's segments.
+
+    Each segment is either an in-memory pair list or a :class:`_SpillSegment`
+    loaded on demand.  Segments arrive in deterministic (source partition,
+    run, insertion) order, so the merged dict's first-occurrence key order —
+    and with it ``list(bucket.items())`` — is identical to the legacy
+    driver-routed path under every backend.
+    """
+
+    __slots__ = ("merge_combiners",)
+
+    def __init__(self, merge_combiners):
+        self.merge_combiners = merge_combiners
+
+    def __call__(self, _index: int, segments: list) -> list[tuple]:
+        bucket: dict[Any, Any] = {}
+        for segment in segments:
+            pairs = segment if isinstance(segment, list) else segment.load()
+            for key, combiner in pairs:
+                if key in bucket:
+                    bucket[key] = self.merge_combiners(bucket[key], combiner)
+                else:
+                    bucket[key] = combiner
         return list(bucket.items())
 
 
@@ -290,38 +436,169 @@ class Distributed:
         across processes and ``PYTHONHASHSEED`` values), then merged per
         target partition.  The result is a new source node: shuffled data
         has no narrow lineage to recompute from.
+
+        With ``ClusterConfig(worker_shuffle=True)`` (the default) the
+        bucketing happens inside the map tasks and the driver routes whole
+        buckets — O(partitions) work; under a memory budget, map-side
+        combiner state that outgrows its per-task share spills sorted runs
+        merged back on the reduce side.  ``worker_shuffle=False`` restores
+        the legacy driver-side per-pair loop; results, shuffle bytes, and
+        per-bucket observability are identical either way.  Both routes
+        require ``merge_value``/``merge_combiners`` to be associative with
+        ``create_combiner`` (Spark's combiner contract) — the merge *order*
+        within a bucket is deterministic, but pre-combining splits differ
+        between the paths when a map task spills.
         """
         stage_name = name or f"{self.name}.combineByKey"
         target_count = n_partitions or self.n_partitions or 1
+        route = (
+            self._combine_worker_routed
+            if self.runtime.config.worker_shuffle
+            else self._combine_driver_routed
+        )
+        return route(
+            stage_name, target_count, create_combiner, merge_value,
+            merge_combiners,
+        )
 
+    def _combine_driver_routed(
+        self, stage_name, target_count, create_combiner, merge_value,
+        merge_combiners,
+    ) -> "Distributed":
+        """Legacy A/B lever: route every (key, combiner) pair on the driver."""
+        runtime = self.runtime
         map_node = PlanNode(
             "combineByKey.map",
             label=f"{stage_name}.map",
             fn=_CombineMapTask(create_combiner, merge_value),
             parent=self.node,
-            node_id=self.runtime.next_plan_id(),
+            node_id=runtime.next_plan_id(),
         )
-        partial_maps = self.runtime.materialize(map_node)
+        partial_maps = runtime.materialize(map_node)
 
-        # Driver-side shuffle routing: deterministic bucket placement and
-        # byte accounting.  Pairs are routed in (source partition, insertion)
-        # order so the reduce-side merges are order-identical under every
-        # backend.
-        shuffled_bytes = 0
+        # Driver-side shuffle routing: the driver touches every pair — a
+        # stable_hash placement plus a recursive size estimate each, O(pairs)
+        # sequential work that extra workers cannot absorb.  Pairs are routed
+        # in (source partition, insertion) order so the reduce-side merges
+        # are order-identical under every backend; per-bucket bytes are
+        # accumulated so the observability surface matches the worker path.
+        started = time.perf_counter()
+        bucket_bytes = [0] * target_count
         routed: list[list[tuple]] = [[] for _ in range(target_count)]
         for (combiners,) in partial_maps:
             for key, combiner in combiners.items():
                 bucket_index = stable_hash(key) % target_count
-                shuffled_bytes += estimate_bytes(key) + estimate_bytes(combiner)
+                bucket_bytes[bucket_index] += (
+                    estimate_bytes(key) + estimate_bytes(combiner)
+                )
                 routed[bucket_index].append((key, combiner))
-        self.runtime.record_transfer(TransferKind.SHUFFLE, stage_name, shuffled_bytes)
+        runtime.metrics.counter(
+            "shuffle_routing_seconds_total", stage=stage_name
+        ).inc(time.perf_counter() - started)
+        runtime.record_shuffle_buckets(stage_name, bucket_bytes)
 
-        new_partitions = self.runtime.run_stage(
+        new_partitions = runtime.run_stage(
             f"{stage_name}.reduce",
             _CombineReduceTask(merge_combiners),
             list(enumerate(routed)),
         )
-        return Distributed(self.runtime, new_partitions, name=stage_name)
+        return Distributed(runtime, new_partitions, name=stage_name)
+
+    def _combine_worker_routed(
+        self, stage_name, target_count, create_combiner, merge_value,
+        merge_combiners,
+    ) -> "Distributed":
+        """Worker-side shuffle plane: map tasks bucket, the driver routes
+        whole buckets in O(partitions)."""
+        runtime = self.runtime
+        shuffle_id = runtime.next_shuffle_id()
+        spill_dir = runtime.shuffle_spill_dir()
+        spill_threshold = None
+        if spill_dir is not None:
+            # Each map task gets an equal share of the cluster budget for
+            # its combiner state; computed driver-side from config, so the
+            # spill pattern is deterministic and backend-invariant.
+            spill_threshold = max(
+                1,
+                runtime.config.memory_budget // max(1, self.n_partitions),
+            )
+        map_node = PlanNode(
+            "combineByKey.bucket",
+            label=f"{stage_name}.map",
+            fn=_CombineMapTask(
+                create_combiner, merge_value, target_count=target_count,
+                spill_dir=spill_dir, spill_threshold=spill_threshold,
+                shuffle_id=shuffle_id,
+            ),
+            parent=self.node,
+            node_id=runtime.next_plan_id(),
+        )
+        outputs = runtime.materialize(map_node)
+
+        # Driver-side work is now O(source partitions × buckets): per map
+        # output, splice in any spilled runs (oldest first) and then the
+        # in-memory bucket, accumulating the pre-measured per-bucket bytes.
+        # First-occurrence key order across a source's runs + remainder
+        # equals its global insertion order, so reduce-side merges stay
+        # order-identical to the legacy path.
+        started = time.perf_counter()
+        bucket_bytes = [0] * target_count
+        bucket_spills = [0] * target_count
+        segments: list[list] = [[] for _ in range(target_count)]
+        run_files: list[str] = []
+        spill_write_bytes = 0
+        fetch_bytes = 0
+        for (output,) in outputs:
+            for run in output.runs:
+                run_files.append(run.path)
+                spill_write_bytes += run.file_bytes
+                for index in range(target_count):
+                    if run.lengths[index]:
+                        segments[index].append(
+                            _SpillSegment(
+                                run.path, run.offsets[index],
+                                run.lengths[index],
+                            )
+                        )
+                        bucket_bytes[index] += run.pair_bytes[index]
+                        bucket_spills[index] += 1
+                        fetch_bytes += run.lengths[index]
+            for index in range(target_count):
+                if output.buckets[index]:
+                    segments[index].append(output.buckets[index])
+                bucket_bytes[index] += output.bucket_bytes[index]
+        runtime.metrics.counter(
+            "shuffle_routing_seconds_total", stage=stage_name
+        ).inc(time.perf_counter() - started)
+        if run_files:
+            # Spilled runs are disk I/O, not network traffic: the write
+            # happened in the map task, the read happens in the reduce task,
+            # both metered here from the run metadata (deterministic under
+            # every backend).
+            runtime.metrics.counter(
+                "shuffle_spill_total", stage=stage_name
+            ).inc(len(run_files))
+            runtime.record_transfer(
+                TransferKind.SPILL, f"{stage_name}.spill", spill_write_bytes
+            )
+            runtime.record_transfer(
+                TransferKind.SPILL, f"{stage_name}.fetch", fetch_bytes
+            )
+        runtime.record_shuffle_buckets(
+            stage_name, bucket_bytes,
+            bucket_segments=[len(bucket) for bucket in segments],
+            bucket_spills=bucket_spills,
+        )
+
+        new_partitions = runtime.run_stage(
+            f"{stage_name}.reduce",
+            _ShuffleReduceTask(merge_combiners),
+            list(enumerate(segments)),
+        )
+        for path in run_files:
+            if os.path.exists(path):
+                os.remove(path)
+        return Distributed(runtime, new_partitions, name=stage_name)
 
     def reduce_by_key(
         self,

@@ -29,9 +29,23 @@ from .faults import FaultInjector
 from .plan import FusedChainTask, LogicalPlan, PlanNode, PlanOptimizer
 from .rdd import Distributed
 from .scheduler import makespan
-from .shuffle import ShuffleLedger, TransferKind, estimate_bytes, stable_hash
+from .shuffle import (
+    ShuffleLedger,
+    TransferKind,
+    estimate_bytes,
+    estimate_bytes_cached,
+    stable_hash,
+)
 
 __all__ = ["SimulatedRuntime", "StageReport", "ExecutionReport"]
+
+#: Bucket bounds of the ``shuffle_bucket_bytes`` histogram.  The registry
+#: default is tuned for task durations in seconds; shuffle buckets are byte
+#: counts, so they get power-of-four byte bounds from one cache line up to
+#: a paper-scale unfolding slab.
+SHUFFLE_BYTE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+)
 
 
 @dataclass(frozen=True)
@@ -154,6 +168,9 @@ class SimulatedRuntime:
         # deduplicated by content hash when the cluster opts in.
         self.plan_optimizer = PlanOptimizer(fuse=not config.eager)
         self._plan_counter = 0
+        # Shuffle ids are handed out per wide operation so every spill-run
+        # file of every map task lands at a distinct, deterministic path.
+        self._shuffle_counter = 0
         self._persisted_nodes: list[PlanNode] = []
         self._broadcast_cache: dict[int, Broadcast] = {}
         # Spill directory for broadcast values when the backend does not
@@ -294,7 +311,10 @@ class SimulatedRuntime:
                     cached.value, content_id, name, cached.n_bytes,
                     cached.spill_path,
                 )
-        n_bytes = estimate_bytes(value)
+        # Broadcast payloads are fingerprinted, sized, and (under process
+        # backends) spilled — the memoized sizer makes the repeated walks
+        # over one factor-matrix payload a dict hit.
+        n_bytes = estimate_bytes_cached(value)
         self._broadcast_base_bytes += n_bytes
         # The ledger stores the per-machine copy; replay multiplies by M.
         self.record_transfer(TransferKind.BROADCAST, name, n_bytes)
@@ -576,6 +596,63 @@ class SimulatedRuntime:
             self.tracer.event(
                 stage, SpanKind.TRANSFER, transfer=kind, bytes=int(n_bytes)
             )
+
+    # ------------------------------------------------------------------
+    # Shuffle plane (worker-side bucketed routing support)
+    # ------------------------------------------------------------------
+    def next_shuffle_id(self) -> int:
+        """Deterministic per-runtime id of one wide (shuffling) operation."""
+        self._shuffle_counter += 1
+        return self._shuffle_counter
+
+    def shuffle_spill_dir(self) -> "str | None":
+        """Directory for map-side combiner spill runs, or ``None``.
+
+        Only meaningful under a memory budget: the runs live inside the
+        storage tier's spill directory, so one ``close()`` removes both
+        and a leased runtime's shuffle runs share its job-scoped root.
+        """
+        if self.storage is None:
+            return None
+        return os.path.join(self.storage.directory, "shuffle")
+
+    def record_shuffle_buckets(
+        self,
+        stage_name: str,
+        bucket_bytes: "list[int]",
+        bucket_segments: "list[int] | None" = None,
+        bucket_spills: "list[int] | None" = None,
+    ) -> None:
+        """Meter one shuffle's reduce buckets: ledger, histogram, and events.
+
+        The SHUFFLE ledger charge is the sum over buckets — identical to
+        the legacy per-pair accounting — while the per-bucket breakdown
+        lands in the ``shuffle_bucket_bytes`` histogram and one ``shuffle``
+        span event per bucket fetch.  Both routing paths call this, so the
+        observability surface is A/B- and backend-invariant.
+        """
+        self.record_transfer(
+            TransferKind.SHUFFLE, stage_name, sum(bucket_bytes)
+        )
+        histogram = self.metrics.histogram(
+            "shuffle_bucket_bytes", buckets=SHUFFLE_BYTE_BUCKETS,
+            stage=stage_name,
+        )
+        for index, n_bytes in enumerate(bucket_bytes):
+            histogram.observe(n_bytes)
+            if self.tracer is not None:
+                self.tracer.event(
+                    stage_name, SpanKind.SHUFFLE, bucket=index,
+                    bytes=int(n_bytes),
+                    segments=(
+                        bucket_segments[index]
+                        if bucket_segments is not None else 1
+                    ),
+                    spilled=(
+                        bucket_spills[index]
+                        if bucket_spills is not None else 0
+                    ),
+                )
 
     def reset(self) -> None:
         self.ledger.reset()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 import sys
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -21,6 +22,8 @@ from .broadcast import BroadcastHandle
 __all__ = [
     "ShuffleLedger",
     "estimate_bytes",
+    "estimate_bytes_cached",
+    "estimate_pair_bytes",
     "stable_hash",
     "TransferKind",
     "HANDLE_WIRE_BYTES",
@@ -104,6 +107,68 @@ def _estimate(obj: object, seen: "set[int] | None") -> int:
         seen.add(id(obj))
         return sum(_estimate(value, seen) for value in attrs) + 8
     return sys.getsizeof(obj)
+
+
+#: Identity-keyed memo for :func:`estimate_bytes_cached`.  Entries evict
+#: themselves when the object is collected, so a recycled ``id()`` can never
+#: serve a stale size; the guard ``ref() is obj`` covers the window where the
+#: callback has not run yet.
+_SIZE_CACHE: "dict[int, tuple[weakref.ref, int]]" = {}
+
+
+def _evict_size(obj_id: int) -> None:
+    _SIZE_CACHE.pop(obj_id, None)
+
+
+def estimate_bytes_cached(obj: object) -> int:
+    """Like :func:`estimate_bytes`, memoized per live object identity.
+
+    Broadcast payloads and packed combiners are sized repeatedly — once per
+    fingerprint, once per ledger charge, once per spill decision — and the
+    recursive walk over a factor-matrix payload is not free.  This caches
+    the measured size against the object's identity via a weak reference,
+    so re-sizing the same live object is a dict hit.
+
+    Only weakref-able objects are memoized (plain instances, ndarrays);
+    dicts, lists, and slotted payloads without ``__weakref__`` fall through
+    to a fresh walk.  Callers must treat memoized objects as immutable —
+    the broadcast plane already requires that of its payloads.
+    """
+    if obj is None:
+        return 0
+    obj_id = id(obj)
+    hit = _SIZE_CACHE.get(obj_id)
+    if hit is not None:
+        ref, size = hit
+        if ref() is obj:
+            return size
+    size = _estimate(obj, None)
+    try:
+        ref = weakref.ref(obj, lambda _ref, _id=obj_id: _evict_size(_id))
+    except TypeError:
+        return size
+    _SIZE_CACHE[obj_id] = (ref, size)
+    return size
+
+
+def estimate_pair_bytes(pairs) -> int:
+    """Total wire size of an iterable of ``(key, combiner)`` pairs.
+
+    One batched call replaces a per-pair ``estimate_bytes(key) +
+    estimate_bytes(combiner)`` loop; the common shuffle shapes — integer
+    keys, packed ndarray combiners — take inlined fast paths that bypass
+    the recursive dispatch while producing *exactly* the same sum, so the
+    ledger charge is bit-equal to the legacy per-pair accounting.
+    """
+    total = 0
+    for key, value in pairs:
+        total += 8 if type(key) is int else _estimate(key, None)
+        total += (
+            int(value.nbytes)
+            if type(value) is np.ndarray
+            else _estimate(value, None)
+        )
+    return total
 
 
 def _payload_attrs(obj: object) -> "list | None":

@@ -53,8 +53,12 @@ class SpanKind:
     CHECKPOINT = "checkpoint"
     SPECULATION = "speculation"
     STORAGE = "storage"
+    SHUFFLE = "shuffle"
 
-    ALL = (STAGE, TASK, KERNEL, TRANSFER, CHECKPOINT, SPECULATION, STORAGE)
+    ALL = (
+        STAGE, TASK, KERNEL, TRANSFER, CHECKPOINT, SPECULATION, STORAGE,
+        SHUFFLE,
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,123 @@
+"""Sorted-run spill files for worker-side shuffle combine state.
+
+Under a memory budget, a ``combine_by_key`` map task whose per-bucket
+combiner dicts outgrow its share of the budget writes the *entire* current
+bucket set out as one **run** and starts over with empty dicts — the same
+sorted-run discipline as Spark's sort-based shuffle, with the run sorted by
+destination bucket index and insertion-ordered within each bucket.  The
+reduce side later concatenates, per bucket, every run's segment (in run
+order) followed by the in-memory remainder; because first-occurrence key
+order across that concatenation equals the map task's global insertion
+order, the merged result is bit-identical to the unspilled path for the
+associative/commutative combiner algebras ``combine_by_key`` contracts.
+
+Wire format of a run file: the per-bucket pair lists are pickled
+independently and concatenated, with byte ``offsets``/``lengths`` carried
+out-of-band on the :class:`SpillRun` metadata (returned to the driver
+through the stage seam) rather than in a file header — the reduce side
+seeks straight to its bucket's blob and unpickles only that.  Files are
+written atomically (``.tmp`` + ``os.replace``) so a killed task never
+leaves a readable half-run.
+
+Like the rest of this package, the module is engine-agnostic: byte
+accounting against the transfer ledger happens in distengine from the
+metadata recorded here (``pair_bytes`` per bucket, ``file_bytes`` per run),
+never by importing it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+__all__ = ["ShuffleSpillWriter", "SpillRun", "read_bucket"]
+
+
+class SpillRun:
+    """Metadata of one spilled run: where each bucket's blob lives.
+
+    ``pair_bytes`` holds the estimated wire size of each bucket's pairs
+    (the quantity the shuffle ledger charges), while ``lengths`` are the
+    pickled blob sizes actually read back from disk (the quantity charged
+    as spill I/O) — the two deliberately stay separate so network and disk
+    accounting never contaminate each other.
+    """
+
+    __slots__ = ("path", "offsets", "lengths", "pair_bytes", "file_bytes")
+
+    def __init__(
+        self,
+        path: str,
+        offsets: "tuple[int, ...]",
+        lengths: "tuple[int, ...]",
+        pair_bytes: "tuple[int, ...]",
+        file_bytes: int,
+    ):
+        self.path = path
+        self.offsets = offsets
+        self.lengths = lengths
+        self.pair_bytes = pair_bytes
+        self.file_bytes = file_bytes
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.offsets)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillRun(path={self.path!r}, n_buckets={self.n_buckets}, "
+            f"file_bytes={self.file_bytes})"
+        )
+
+
+class ShuffleSpillWriter:
+    """Writes a map task's bucket sets as numbered run files.
+
+    File names encode ``(shuffle id, map partition, run index)``, so every
+    run of every task of every shuffle in one runtime lands at a distinct
+    path and concurrent map tasks of a process pool never collide.
+    """
+
+    __slots__ = ("directory", "shuffle_id", "map_index", "_run_counter")
+
+    def __init__(self, directory: str, shuffle_id: int, map_index: int):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.shuffle_id = shuffle_id
+        self.map_index = map_index
+        self._run_counter = 0
+
+    def write_run(
+        self, buckets: "list[list]", pair_bytes: "list[int]"
+    ) -> SpillRun:
+        """Atomically persist one bucket set (bucket-index order) as a run."""
+        run_index = self._run_counter
+        self._run_counter += 1
+        path = os.path.join(
+            self.directory,
+            f"shuffle{self.shuffle_id:04d}-map{self.map_index:04d}"
+            f"-run{run_index:04d}.pkl",
+        )
+        offsets: list[int] = []
+        lengths: list[int] = []
+        cursor = 0
+        staging = path + ".tmp"
+        with open(staging, "wb") as stream:
+            for pairs in buckets:
+                blob = pickle.dumps(pairs, protocol=4)
+                stream.write(blob)
+                offsets.append(cursor)
+                lengths.append(len(blob))
+                cursor += len(blob)
+        os.replace(staging, path)
+        return SpillRun(
+            path, tuple(offsets), tuple(lengths), tuple(pair_bytes), cursor
+        )
+
+
+def read_bucket(path: str, offset: int, length: int) -> list:
+    """One bucket's ``(key, combiner)`` pairs from a run file."""
+    with open(path, "rb") as stream:
+        stream.seek(offset)
+        blob = stream.read(length)
+    return pickle.loads(blob)

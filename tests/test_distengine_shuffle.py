@@ -1,8 +1,15 @@
-"""Unit tests for the shuffle ledger."""
+"""Unit tests for the shuffle ledger and the byte-size estimators."""
 
+import numpy as np
 import pytest
 
-from repro.distengine import ShuffleLedger, TransferKind
+from repro.distengine import (
+    ShuffleLedger,
+    TransferKind,
+    estimate_bytes,
+    estimate_bytes_cached,
+    estimate_pair_bytes,
+)
 
 
 class TestShuffleLedger:
@@ -41,3 +48,87 @@ class TestShuffleLedger:
         assert set(summary) == set(TransferKind.ALL)
         assert summary[TransferKind.SHUFFLE] == 7
         assert summary[TransferKind.BROADCAST] == 0
+
+
+class TestEstimatePairBytes:
+    def test_matches_per_pair_sum(self):
+        pairs = [
+            (0, np.arange(5, dtype=np.int64)),
+            ("key", [1, 2, 3]),
+            ((1, 2), 3.5),
+            (7, {"a": np.ones(2)}),
+            (True, None),
+        ]
+        expected = sum(
+            estimate_bytes(key) + estimate_bytes(value)
+            for key, value in pairs
+        )
+        assert estimate_pair_bytes(pairs) == expected
+
+    def test_empty(self):
+        assert estimate_pair_bytes([]) == 0
+
+    def test_fast_paths_exact(self):
+        # The inlined int-key / ndarray-value fast paths must agree with
+        # the recursive sizer bit-for-bit (ledger parity depends on it).
+        pairs = [(i, np.full(3, i, dtype=np.uint64)) for i in range(50)]
+        expected = sum(
+            estimate_bytes(key) + estimate_bytes(value)
+            for key, value in pairs
+        )
+        assert estimate_pair_bytes(pairs) == expected
+
+    def test_accepts_generators(self):
+        pairs = {1: np.arange(2), 2: np.arange(3)}
+        assert estimate_pair_bytes(pairs.items()) == estimate_pair_bytes(
+            list(pairs.items())
+        )
+
+
+class TestEstimateBytesCached:
+    def test_matches_uncached(self):
+        value = np.arange(100, dtype=np.int64)
+        assert estimate_bytes_cached(value) == estimate_bytes(value)
+
+    def test_repeat_hits_cache(self):
+        value = np.arange(10)
+        first = estimate_bytes_cached(value)
+        assert estimate_bytes_cached(value) == first
+
+    def test_distinct_objects_sized_separately(self):
+        small = np.arange(2, dtype=np.int64)
+        large = np.arange(200, dtype=np.int64)
+        assert estimate_bytes_cached(small) == 16
+        assert estimate_bytes_cached(large) == 1600
+
+    def test_non_weakrefable_falls_through(self):
+        payload = {"words": np.arange(4)}
+        assert estimate_bytes_cached(payload) == estimate_bytes(payload)
+        assert estimate_bytes_cached([1, 2]) == estimate_bytes([1, 2])
+
+    def test_none_is_zero(self):
+        assert estimate_bytes_cached(None) == 0
+
+    def test_cache_evicts_on_collection(self):
+        import gc
+
+        from repro.distengine.shuffle import _SIZE_CACHE
+
+        value = np.arange(64)
+        estimate_bytes_cached(value)
+        key = id(value)
+        assert key in _SIZE_CACHE
+        del value
+        gc.collect()
+        assert key not in _SIZE_CACHE
+
+    def test_plain_instance_payload(self):
+        class Payload:
+            def __init__(self):
+                self.matrix = np.ones((8, 8))
+                self.name = "p"
+
+        payload = Payload()
+        assert estimate_bytes_cached(payload) == estimate_bytes(payload)
+        # second call served from the memo, same answer
+        assert estimate_bytes_cached(payload) == estimate_bytes(payload)

@@ -1,0 +1,230 @@
+"""Worker-side bucketed shuffle plane vs the legacy driver-routed path.
+
+The central contract: ``ClusterConfig(worker_shuffle=True)`` (the default)
+must produce bit-identical result partitions and identical SHUFFLE ledger
+charges to the legacy driver-side per-pair loop, for every partition shape
+— empty partitions, growing/shrinking ``n_partitions``, keys duplicated
+across every source — on the serial, thread, and process backends, with
+and without a memory budget.  A hypothesis property pins the equivalence
+over randomized keyed datasets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distengine import ClusterConfig, SimulatedRuntime, TransferKind
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+def _copy(value):
+    return value.copy() if hasattr(value, "copy") else value
+
+
+def _add(left, right):
+    return left + right
+
+
+def _normalize(partitions):
+    """Partition structure with ndarray values made comparable."""
+    return [
+        [
+            (key, value.tolist() if isinstance(value, np.ndarray) else value)
+            for key, value in partition
+        ]
+        for partition in partitions
+    ]
+
+
+def _combine(
+    data,
+    n_source,
+    n_target=None,
+    worker_shuffle=True,
+    backend="serial",
+    memory_budget=None,
+):
+    """One combine_by_key run; returns (partitions, shuffle bytes, runtime facts)."""
+    runtime = SimulatedRuntime(
+        ClusterConfig(
+            n_machines=2, cores_per_machine=2, backend=backend, n_workers=2,
+            worker_shuffle=worker_shuffle, memory_budget=memory_budget,
+        )
+    )
+    try:
+        rdd = runtime.parallelize(data, n_partitions=n_source, name="kv")
+        out = rdd.combine_by_key(_copy, _add, _add, n_partitions=n_target)
+        partitions = out.glom()
+        shuffle_bytes = runtime.ledger.bytes_of_kind(TransferKind.SHUFFLE)
+        counters = runtime.metrics.counters()
+        return _normalize(partitions), shuffle_bytes, counters
+    finally:
+        runtime.close()
+
+
+def _array_data(n_items, n_keys=7):
+    return [
+        (i % n_keys, np.arange(4, dtype=np.int64) + i) for i in range(n_items)
+    ]
+
+
+class TestWorkerVsDriverEquivalence:
+    def test_partitions_and_bytes_identical(self):
+        data = _array_data(120)
+        worker, worker_bytes, _ = _combine(data, 6, worker_shuffle=True)
+        legacy, legacy_bytes, _ = _combine(data, 6, worker_shuffle=False)
+        assert worker == legacy
+        assert worker_bytes == legacy_bytes
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_invariant(self, backend):
+        data = _array_data(80)
+        base, base_bytes, _ = _combine(data, 4)
+        got, got_bytes, _ = _combine(data, 4, backend=backend)
+        assert got == base
+        assert got_bytes == base_bytes
+
+    def test_integer_values(self):
+        data = [(i % 5, i) for i in range(200)]
+        worker, worker_bytes, _ = _combine(data, 8)
+        legacy, legacy_bytes, _ = _combine(data, 8, worker_shuffle=False)
+        assert worker == legacy
+        assert worker_bytes == legacy_bytes
+
+    def test_routing_timer_recorded_on_both_paths(self):
+        data = _array_data(40)
+        for worker_shuffle in (True, False):
+            _, _, counters = _combine(data, 4, worker_shuffle=worker_shuffle)
+            routing = counters.get("shuffle_routing_seconds_total", {})
+            assert routing, "routing timer missing"
+            assert all(value >= 0.0 for value in routing.values())
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("worker_shuffle", [True, False])
+    def test_empty_input(self, worker_shuffle):
+        partitions, shuffle_bytes, _ = _combine(
+            [], 4, worker_shuffle=worker_shuffle
+        )
+        assert partitions == [[] for _ in range(4)]
+        assert shuffle_bytes == 0
+
+    def test_more_partitions_than_items(self):
+        data = [(0, 1), (1, 2)]
+        worker, worker_bytes, _ = _combine(data, 8)
+        legacy, legacy_bytes, _ = _combine(data, 8, worker_shuffle=False)
+        assert worker == legacy
+        assert worker_bytes == legacy_bytes
+
+    def test_partition_growth(self):
+        data = _array_data(30)
+        worker, wb, _ = _combine(data, 2, n_target=8)
+        legacy, lb, _ = _combine(data, 2, n_target=8, worker_shuffle=False)
+        assert len(worker) == 8
+        assert worker == legacy
+        assert wb == lb
+
+    def test_partition_shrink(self):
+        data = _array_data(30)
+        worker, wb, _ = _combine(data, 8, n_target=2)
+        legacy, lb, _ = _combine(data, 8, n_target=2, worker_shuffle=False)
+        assert len(worker) == 2
+        assert worker == legacy
+        assert wb == lb
+
+    def test_single_target_partition(self):
+        data = _array_data(30)
+        worker, wb, _ = _combine(data, 4, n_target=1)
+        legacy, lb, _ = _combine(data, 4, n_target=1, worker_shuffle=False)
+        assert len(worker) == 1
+        assert worker == legacy
+        assert wb == lb
+
+    def test_duplicate_keys_across_all_sources(self):
+        # Every source partition holds every key, so every reduce bucket
+        # merges combiners from every map output — the order-sensitivity
+        # worst case for the segment splice.
+        n_source = 6
+        data = []
+        for source in range(n_source):
+            for key in range(10):
+                data.append((key, np.full(3, source + 1, dtype=np.int64)))
+        worker, wb, _ = _combine(data, n_source)
+        legacy, lb, _ = _combine(data, n_source, worker_shuffle=False)
+        assert worker == legacy
+        assert wb == lb
+
+    def test_none_values_and_string_keys(self):
+        data = [(f"k{i % 3}", i) for i in range(20)] + [("k0", 0)]
+        worker, wb, _ = _combine(data, 3)
+        legacy, lb, _ = _combine(data, 3, worker_shuffle=False)
+        assert worker == legacy
+        assert wb == lb
+
+
+class TestBudgetedWorkerShuffle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spill_results_identical(self, backend):
+        data = _array_data(200)
+        base, _, _ = _combine(data, 8)
+        spilled, _, counters = _combine(
+            data, 8, backend=backend, memory_budget=2000
+        )
+        assert spilled == base
+        spills = counters.get("shuffle_spill_total", {})
+        assert sum(spills.values()) > 0, "tiny budget must force spill runs"
+
+    def test_spill_counts_backend_invariant(self):
+        data = _array_data(200)
+        totals = []
+        for backend in BACKENDS:
+            _, _, counters = _combine(
+                data, 8, backend=backend, memory_budget=2000
+            )
+            totals.append(sum(counters.get("shuffle_spill_total", {}).values()))
+        assert totals[0] > 0
+        assert totals == [totals[0]] * len(BACKENDS)
+
+    def test_spill_bytes_metered(self):
+        data = _array_data(200)
+        runtime = SimulatedRuntime(
+            ClusterConfig(memory_budget=2000)
+        )
+        try:
+            rdd = runtime.parallelize(data, n_partitions=8, name="kv")
+            rdd.combine_by_key(_copy, _add, _add).glom()
+            by_stage = dict(runtime.ledger.by_stage)
+            spill_stages = [s for s in by_stage if s.endswith(".spill")]
+            fetch_stages = [s for s in by_stage if s.endswith(".fetch")]
+            assert spill_stages and fetch_stages
+            assert runtime.ledger.bytes_of_kind(TransferKind.SPILL) > 0
+        finally:
+            runtime.close()
+
+    def test_no_spill_without_budget(self):
+        data = _array_data(60)
+        _, _, counters = _combine(data, 4)
+        assert not counters.get("shuffle_spill_total", {})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(-1000, 1000)),
+        max_size=120,
+    ),
+    n_source=st.integers(1, 6),
+    n_target=st.integers(1, 6),
+)
+def test_worker_routing_matches_driver_routing(items, n_source, n_target):
+    """Property: identical buckets and identical ledger totals on both paths."""
+    worker, worker_bytes, _ = _combine(
+        items, n_source, n_target=n_target, worker_shuffle=True
+    )
+    legacy, legacy_bytes, _ = _combine(
+        items, n_source, n_target=n_target, worker_shuffle=False
+    )
+    assert worker == legacy
+    assert worker_bytes == legacy_bytes
